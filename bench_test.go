@@ -1,0 +1,366 @@
+package scalesim
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (one Benchmark* per table/figure; see DESIGN.md's experiment
+// index). Each benchmark prints the rows/series the paper reports and
+// attaches the headline numbers as custom metrics (avg_err_pct, ...).
+//
+// Run the full harness with:
+//
+//	go test -bench=. -benchtime=1x -timeout=2h
+//
+// Simulations are cached inside a shared experiment driver, so the whole
+// harness costs roughly one full data collection. Set SCALESIM_BENCH_FAST=1
+// to run at reduced fidelity (~10x faster; conclusions unchanged).
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+)
+
+var (
+	benchOnce sync.Once
+	benchExp  *Experiments
+	benchErr  error
+)
+
+// benchExperiments returns the shared full-suite experiment driver.
+func benchExperiments(b *testing.B) *Experiments {
+	b.Helper()
+	benchOnce.Do(func() {
+		opts := DefaultOptions()
+		if os.Getenv("SCALESIM_BENCH_FAST") != "" {
+			opts = FastOptions()
+			fmt.Println("bench fidelity: fast (SCALESIM_BENCH_FAST set)")
+		} else {
+			fmt.Println("bench fidelity: full (set SCALESIM_BENCH_FAST=1 for a ~10x faster run)")
+		}
+		benchExp, benchErr = NewExperiments(opts)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchExp
+}
+
+// reportOnce prints the figure's table on the first iteration only.
+var printedFigures sync.Map
+
+func printFigure(id string, body fmt.Stringer) {
+	if _, loaded := printedFigures.LoadOrStore(id, true); !loaded {
+		fmt.Println(body.String())
+	}
+}
+
+// BenchmarkTableI_ScaleModelConstruction regenerates Table I (both
+// bandwidth-scaling orders).
+func BenchmarkTableI_ScaleModelConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, bw := range []string{BandwidthMCFirst, BandwidthMBFirst} {
+			rows, err := TableI(bw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, loaded := printedFigures.LoadOrStore("tableI-"+bw, true); !loaded {
+				fmt.Printf("Table I (%s):\n", bw)
+				for _, r := range rows {
+					fmt.Printf("  %2d cores | %-18s | %-34s | %s\n", r.Cores, r.LLC, r.NoC, r.DRAM)
+				}
+				fmt.Println()
+			}
+		}
+	}
+}
+
+// BenchmarkFig3_ScaleModelConstruction regenerates Fig. 3: NRS vs PRS
+// variants with a single-core scale model and no extrapolation.
+func BenchmarkFig3_ScaleModelConstruction(b *testing.B) {
+	ex := benchExperiments(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ex.Fig3Construction()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure(res.ID, res)
+		for _, m := range res.Methods {
+			if m.Method == "PRS" {
+				b.ReportMetric(100*m.Mean, "PRS_avg_err_pct")
+			}
+			if m.Method == "NRS" {
+				b.ReportMetric(100*m.Mean, "NRS_avg_err_pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig4_HomogeneousExtrapolation regenerates Fig. 4.
+func BenchmarkFig4_HomogeneousExtrapolation(b *testing.B) {
+	ex := benchExperiments(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ex.Fig4Homogeneous()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure(res.ID, res)
+		for _, m := range res.Methods {
+			switch m.Method {
+			case "SVM":
+				b.ReportMetric(100*m.Mean, "SVM_avg_err_pct")
+			case "SVM-log":
+				b.ReportMetric(100*m.Mean, "SVMlog_avg_err_pct")
+			case "No Extrapolation":
+				b.ReportMetric(100*m.Mean, "NoExtrap_avg_err_pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig5_HeterogeneousExtrapolation regenerates Fig. 5.
+func BenchmarkFig5_HeterogeneousExtrapolation(b *testing.B) {
+	ex := benchExperiments(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ex.Fig5Heterogeneous()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure(res.ID, res)
+		for _, m := range res.Methods {
+			switch m.Method {
+			case "SVM":
+				b.ReportMetric(100*m.Mean, "SVM_avg_err_pct")
+			case "SVM-log":
+				b.ReportMetric(100*m.Mean, "SVMlog_avg_err_pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig6_STPPrediction regenerates Fig. 6.
+func BenchmarkFig6_STPPrediction(b *testing.B) {
+	ex := benchExperiments(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ex.Fig6STP()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure("Fig. 6", res)
+		for _, m := range res.Methods {
+			if m.Method == "SVM-log" {
+				b.ReportMetric(100*m.Mean, "SVMlog_STP_avg_err_pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7_ErrorVsSpeedup regenerates Fig. 7.
+func BenchmarkFig7_ErrorVsSpeedup(b *testing.B) {
+	ex := benchExperiments(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ex.Fig7ErrorVsSpeedup()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure("Fig. 7", res)
+		if n := len(res.NoExtrapolation); n > 0 {
+			b.ReportMetric(res.NoExtrapolation[n-1].Speedup, "1core_speedup_x")
+		}
+	}
+}
+
+// BenchmarkFig8_MemoryBandwidthScaling regenerates Fig. 8.
+func BenchmarkFig8_MemoryBandwidthScaling(b *testing.B) {
+	ex := benchExperiments(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ex.Fig8BandwidthScaling()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure(res.ID, res)
+		for _, m := range res.Methods {
+			switch m.Method {
+			case "MC-first SVM-log":
+				b.ReportMetric(100*m.Mean, "MCfirst_SVMlog_err_pct")
+			case "MB-first SVM-log":
+				b.ReportMetric(100*m.Mean, "MBfirst_SVMlog_err_pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig9_RegressionForms regenerates Fig. 9.
+func BenchmarkFig9_RegressionForms(b *testing.B) {
+	ex := benchExperiments(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ex.Fig9RegressionForms()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure(res.ID, res)
+		for _, m := range res.Methods {
+			switch m.Method {
+			case "SVM-linear":
+				b.ReportMetric(100*m.Mean, "linear_err_pct")
+			case "SVM-power":
+				b.ReportMetric(100*m.Mean, "power_err_pct")
+			case "SVM-log":
+				b.ReportMetric(100*m.Mean, "log_err_pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10_MLInputs regenerates Fig. 10.
+func BenchmarkFig10_MLInputs(b *testing.B) {
+	ex := benchExperiments(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ex.Fig10Inputs()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure(res.ID, res)
+		for _, m := range res.Methods {
+			switch m.Method {
+			case "SVM-log (IPC-only)":
+				b.ReportMetric(100*m.Mean, "SVMlog_ipc_only_err_pct")
+			case "SVM-log (IPC+BW)":
+				b.ReportMetric(100*m.Mean, "SVMlog_ipc_bw_err_pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig11_ScaleModelCount regenerates Fig. 11.
+func BenchmarkFig11_ScaleModelCount(b *testing.B) {
+	ex := benchExperiments(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ex.Fig11ScaleModelCount()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure(res.ID, res)
+		for j, m := range res.Methods {
+			b.ReportMetric(100*m.Mean, fmt.Sprintf("with_%d_models_err_pct", j+2))
+		}
+	}
+}
+
+// BenchmarkFig12_BandwidthPrediction regenerates Fig. 12.
+func BenchmarkFig12_BandwidthPrediction(b *testing.B) {
+	ex := benchExperiments(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ex.Fig12Bandwidth()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure(res.ID, res)
+		for _, m := range res.Methods {
+			switch m.Method {
+			case "SVM":
+				b.ReportMetric(100*m.Mean, "SVM_bw_err_pct")
+			case "SVM-log":
+				b.ReportMetric(100*m.Mean, "SVMlog_bw_err_pct")
+			}
+		}
+	}
+}
+
+// BenchmarkSpeedup_SimulationTime regenerates the §I simulation-cost
+// observation: wall-clock per machine size grows super-linearly with core
+// count.
+func BenchmarkSpeedup_SimulationTime(b *testing.B) {
+	ex := benchExperiments(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := ex.SimulationTimeStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, loaded := printedFigures.LoadOrStore("speedup", true); !loaded {
+			fmt.Println("Simulation time per machine size (homogeneous suite):")
+			base := rows[len(rows)-1].TotalSecs
+			for _, r := range rows {
+				fmt.Printf("  %2d cores: %8.2fs (%6.1f ms/benchmark)  speedup vs target %5.1fx\n",
+					r.Cores, r.TotalSecs, r.PerBenchMs, base/r.TotalSecs)
+			}
+			fmt.Println()
+		}
+		b.ReportMetric(rows[len(rows)-1].TotalSecs/rows[0].TotalSecs, "speedup_1core_x")
+	}
+}
+
+// BenchmarkSimulator_TargetRun measures the raw cost of one 32-core target
+// simulation (the thing scale models avoid).
+func BenchmarkSimulator_TargetRun(b *testing.B) {
+	wl := make([]string, 32)
+	for i := range wl {
+		wl[i] = "gcc"
+	}
+	opts := FastOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(MachineSpec{Cores: 32, Policy: PolicyTarget}, wl, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator_ScaleModelRun measures the cost of the single-core
+// scale-model simulation that replaces it.
+func BenchmarkSimulator_ScaleModelRun(b *testing.B) {
+	opts := FastOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(MachineSpec{Cores: 1}, []string{"gcc"}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExt_Multithreaded runs the §V-E6 future-work extension:
+// scale-model extrapolation for data-parallel multi-threaded workloads.
+func BenchmarkExt_Multithreaded(b *testing.B) {
+	ex := benchExperiments(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ex.ExtMultithreaded()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure("ext-mt", res)
+		b.ReportMetric(100*res.Summary.Mean, "avg_err_pct")
+	}
+}
+
+// BenchmarkAblation_ContentionModel quantifies the starred design choices
+// of DESIGN.md: the epoch bandwidth fixed point and the structurally shared
+// LLC.
+func BenchmarkAblation_ContentionModel(b *testing.B) {
+	ex := benchExperiments(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ex.Ablations()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure("ablations", res)
+		for _, row := range res.Rows {
+			if row.Variant == "no bandwidth feedback" {
+				b.ReportMetric(100*row.PRSMean, "nofeedback_PRS_err_pct")
+			}
+		}
+	}
+}
+
+// BenchmarkExt_PrefetchRobustness checks the methodology with an L2 stream
+// prefetcher added to scale model and target alike.
+func BenchmarkExt_PrefetchRobustness(b *testing.B) {
+	ex := benchExperiments(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ex.PrefetchStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure("ext-prefetch", res)
+		b.ReportMetric(100*res.SummaryOff.Mean, "err_off_pct")
+		b.ReportMetric(100*res.SummaryOn.Mean, "err_on_pct")
+	}
+}

@@ -1,0 +1,313 @@
+// Command scalesim is the interactive CLI for the scale-model simulation
+// library: inspect configurations, simulate workloads on scale models or
+// the target system, and predict target performance from single-core
+// scale-model runs.
+//
+// Usage:
+//
+//	scalesim table1 [-bw MC-first|MB-first]
+//	scalesim suite
+//	scalesim simulate -machine <cores>[:<policy>] -bench <a,b,...> [-fast]
+//	scalesim predict -bench <name> [-fast]
+//	scalesim experiment -fig <id> [-fast]
+//
+// Examples:
+//
+//	scalesim simulate -machine 1:PRS -bench lbm
+//	scalesim simulate -machine 32:target -bench "lbm x32"
+//	scalesim predict -bench mcf
+//	scalesim experiment -fig 3 -fast
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"scalesim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scalesim: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "table1":
+		cmdTable1(os.Args[2:])
+	case "suite":
+		cmdSuite()
+	case "simulate":
+		cmdSimulate(os.Args[2:])
+	case "predict":
+		cmdPredict(os.Args[2:])
+	case "experiment":
+		cmdExperiment(os.Args[2:])
+	case "sweep":
+		cmdSweep(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		log.Printf("unknown command %q", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  scalesim table1 [-bw MC-first|MB-first]   print the Table I scale-model construction
+  scalesim suite                            list the 29-benchmark workload suite
+  scalesim simulate -machine C[:POLICY] -bench A,B,... [-fast]
+                                            simulate a workload ("lbm x4" repeats)
+  scalesim predict -bench NAME [-fast]      predict 32-core IPC from a 1-core scale model
+  scalesim experiment -fig ID [-fast]       regenerate one figure (3..12, speedup)
+  scalesim sweep -knob llc|dram -bench NAME [-cores N] [-fast]
+                                            design-space sweep on a scale model`)
+}
+
+func options(fast bool) scalesim.SimOptions {
+	if fast {
+		return scalesim.FastOptions()
+	}
+	return scalesim.DefaultOptions()
+}
+
+func cmdTable1(args []string) {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	bw := fs.String("bw", scalesim.BandwidthMCFirst, "bandwidth scaling order (MC-first or MB-first)")
+	_ = fs.Parse(args)
+	rows, err := scalesim.TableI(*bw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Scale-model construction (%s):\n", *bw)
+	for _, r := range rows {
+		fmt.Printf("  %2d cores | %-18s | %-34s | %s\n", r.Cores, r.LLC, r.NoC, r.DRAM)
+	}
+}
+
+func cmdSuite() {
+	fmt.Println("Workload suite (29 synthetic SPEC-CPU2017-like benchmarks):")
+	for _, p := range scalesim.Suite() {
+		totalMem := p.LoadsPerKI + p.StoresPerKI
+		var biggest int64
+		for _, r := range p.Regions {
+			if r.SizeBytes > biggest {
+				biggest = r.SizeBytes
+			}
+		}
+		fmt.Printf("  %-11s baseCPI %.2f  mem/KI %3d  branches/KI %3d  MLP %4.1f  max region %4d MB\n",
+			p.Name, p.BaseCPI, totalMem, p.BranchesPerKI, p.MLP, biggest>>20)
+	}
+}
+
+// parseWorkload expands "lbm x4,gcc" into [lbm lbm lbm lbm gcc].
+func parseWorkload(spec string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, count := part, 1
+		if fields := strings.Fields(part); len(fields) == 2 && strings.HasPrefix(fields[1], "x") {
+			n, err := strconv.Atoi(fields[1][1:])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad repeat count in %q", part)
+			}
+			name, count = fields[0], n
+		}
+		for i := 0; i < count; i++ {
+			out = append(out, name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty workload")
+	}
+	return out, nil
+}
+
+func parseMachine(spec string) (scalesim.MachineSpec, error) {
+	parts := strings.SplitN(spec, ":", 2)
+	cores, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return scalesim.MachineSpec{}, fmt.Errorf("bad core count %q", parts[0])
+	}
+	m := scalesim.MachineSpec{Cores: cores}
+	if len(parts) == 2 {
+		m.Policy = parts[1]
+	}
+	return m, nil
+}
+
+func cmdSimulate(args []string) {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	machine := fs.String("machine", "1:PRS", "machine spec: <cores>[:<policy>] (policies: target, PRS, NRS, PRS-LLC, PRS-DRAM)")
+	bench := fs.String("bench", "", "workload: comma-separated benchmarks, 'name xN' repeats")
+	bwOrder := fs.String("bw", scalesim.BandwidthMCFirst, "DRAM bandwidth scaling order")
+	fast := fs.Bool("fast", false, "reduced fidelity")
+	_ = fs.Parse(args)
+
+	wl, err := parseWorkload(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := parseMachine(*machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Bandwidth = *bwOrder
+	res, err := scalesim.Simulate(m, wl, options(*fast))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine %s  (DRAM util %.2f, NoC util %.2f, %.2fs wall-clock)\n",
+		res.Machine, res.DRAMUtilization, res.NoCUtilization, res.WallClockSec)
+	fmt.Printf("  %-4s %-11s %8s %10s %9s %9s\n", "core", "benchmark", "IPC", "LLC MPKI", "BW B/cyc", "mispred")
+	for _, c := range res.Cores {
+		fmt.Printf("  %-4d %-11s %8.3f %10.2f %9.3f %8.1f%%\n",
+			c.Core, c.Benchmark, c.IPC, c.LLCMPKI, c.BWBytesPerCycle, 100*c.BranchMispredictRate)
+	}
+	fmt.Printf("  average IPC: %.3f\n", res.AverageIPC())
+}
+
+func cmdPredict(args []string) {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark to predict")
+	fast := fs.Bool("fast", false, "reduced fidelity")
+	validate := fs.Bool("validate", true, "also simulate the target for comparison")
+	_ = fs.Parse(args)
+	if *bench == "" {
+		log.Fatal("predict: -bench is required")
+	}
+	ex, err := scalesim.NewExperiments(options(*fast))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := ex.PredictTargetIPC(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: predicted per-core IPC on the 32-core target: %.3f (SVM-log regression, 1-core scale model)\n", *bench, pred)
+	if *validate {
+		actual, err := ex.ActualTargetIPC(*bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: simulated target IPC: %.3f  (prediction error %.1f%%)\n",
+			*bench, actual, 100*abs(pred-actual)/actual)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func cmdExperiment(args []string) {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	fig := fs.String("fig", "", "figure id: 3,4,5,6,7,8,9,10,11,12 or speedup")
+	fast := fs.Bool("fast", false, "reduced fidelity")
+	_ = fs.Parse(args)
+	ex, err := scalesim.NewExperiments(options(*fast))
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch *fig {
+	case "3":
+		show(ex.Fig3Construction())
+	case "4":
+		show(ex.Fig4Homogeneous())
+	case "5":
+		show(ex.Fig5Heterogeneous())
+	case "6":
+		show(ex.Fig6STP())
+	case "7":
+		show(ex.Fig7ErrorVsSpeedup())
+	case "8":
+		show(ex.Fig8BandwidthScaling())
+	case "9":
+		show(ex.Fig9RegressionForms())
+	case "10":
+		show(ex.Fig10Inputs())
+	case "11":
+		show(ex.Fig11ScaleModelCount())
+	case "12":
+		show(ex.Fig12Bandwidth())
+	case "speedup":
+		rows, err := ex.SimulationTimeStudy()
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := rows[len(rows)-1].TotalSecs
+		for _, r := range rows {
+			fmt.Printf("%2d cores: %8.2fs (%6.1f ms/benchmark), speedup vs target %5.1fx\n",
+				r.Cores, r.TotalSecs, r.PerBenchMs, base/r.TotalSecs)
+		}
+	default:
+		log.Fatalf("unknown figure %q", *fig)
+	}
+}
+
+func cmdSweep(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	knob := fs.String("knob", "llc", "what to sweep: llc (per-core KB) or dram (per-core GB/s)")
+	bench := fs.String("bench", "xalancbmk", "benchmark to sweep")
+	cores := fs.Int("cores", 1, "scale-model core count")
+	fast := fs.Bool("fast", true, "reduced fidelity")
+	_ = fs.Parse(args)
+
+	type point struct {
+		label string
+		spec  scalesim.MachineSpec
+	}
+	var points []point
+	switch *knob {
+	case "llc":
+		for _, kb := range []int{256, 512, 1024, 2048, 4096} {
+			points = append(points, point{
+				label: fmt.Sprintf("%4d KB LLC/core", kb),
+				spec:  scalesim.MachineSpec{Cores: *cores, LLCPerCoreKB: kb},
+			})
+		}
+	case "dram":
+		for _, gb := range []float64{1, 2, 4, 8, 16} {
+			points = append(points, point{
+				label: fmt.Sprintf("%4.0f GB/s DRAM/core", gb),
+				spec:  scalesim.MachineSpec{Cores: *cores, DRAMPerCoreGBps: gb},
+			})
+		}
+	default:
+		log.Fatalf("unknown knob %q", *knob)
+	}
+
+	wl := make([]string, *cores)
+	for i := range wl {
+		wl[i] = *bench
+	}
+	fmt.Printf("design-space sweep: %s on a %d-core scale model\n", *bench, *cores)
+	for _, p := range points {
+		res, err := scalesim.Simulate(p.spec, wl, options(*fast))
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := res.Cores[0]
+		fmt.Printf("  %s: IPC %6.3f  LLC MPKI %6.2f  DRAM util %.2f\n",
+			p.label, res.AverageIPC(), c.LLCMPKI, res.DRAMUtilization)
+	}
+}
+
+func show(res fmt.Stringer, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.String())
+}

@@ -1,0 +1,589 @@
+package scalesim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scalesim/internal/config"
+	"scalesim/internal/fit"
+	"scalesim/internal/metrics"
+	"scalesim/internal/scalemodel"
+	"scalesim/internal/trace"
+)
+
+// Experiments drives the paper's full evaluation (§V). All underlying
+// simulations are cached, so regenerating several figures shares their
+// common runs; collecting the first figure is the expensive step.
+type Experiments struct {
+	lab        *scalemodel.Lab
+	suite      []*trace.Profile
+	scaleCores []int
+	heteroOpts scalemodel.HeteroOptions
+
+	homog  map[scalemodel.Metric]*scalemodel.HomogeneousData
+	hetero *scalemodel.HeterogeneousData
+}
+
+// NewExperiments prepares an experiment driver with the paper's defaults:
+// the 29-benchmark suite, multi-core scale models of 2/4/8/16 cores, and
+// the heterogeneous protocol of §IV-2.
+func NewExperiments(opts SimOptions) (*Experiments, error) {
+	return newExperiments(opts, trace.Suite())
+}
+
+// NewExperimentsSubset restricts the suite to the named benchmarks (useful
+// for quick runs; the paper's numbers use the full suite).
+func NewExperimentsSubset(opts SimOptions, names ...string) (*Experiments, error) {
+	var suite []*trace.Profile
+	for _, n := range names {
+		p := trace.ByName(n)
+		if p == nil {
+			return nil, fmt.Errorf("scalesim: unknown benchmark %q", n)
+		}
+		suite = append(suite, p)
+	}
+	if len(suite) < 3 {
+		return nil, fmt.Errorf("scalesim: need at least 3 benchmarks, got %d", len(suite))
+	}
+	return newExperiments(opts, suite)
+}
+
+func newExperiments(opts SimOptions, suite []*trace.Profile) (*Experiments, error) {
+	heteroOpts := scalemodel.DefaultHeteroOptions()
+	if len(suite) < 12 {
+		// Scale the protocol down with the suite for subset runs.
+		heteroOpts.EvalBenchmarks = len(suite) / 3
+		heteroOpts.TrainResults = 128
+		heteroOpts.EvalMixes = 4
+		heteroOpts.STPMixes = 10
+	}
+	return &Experiments{
+		lab:        scalemodel.NewLab(opts.internal()),
+		suite:      suite,
+		scaleCores: []int{2, 4, 8, 16},
+		heteroOpts: heteroOpts,
+		homog:      map[scalemodel.Metric]*scalemodel.HomogeneousData{},
+	}, nil
+}
+
+// Runs reports how many distinct simulations have been executed so far.
+func (e *Experiments) Runs() int { return e.lab.Runs() }
+
+func (e *Experiments) homogData(m scalemodel.Metric) (*scalemodel.HomogeneousData, error) {
+	if d, ok := e.homog[m]; ok {
+		return d, nil
+	}
+	d, err := e.lab.CollectHomogeneous(e.suite, e.scaleCores, m)
+	if err != nil {
+		return nil, err
+	}
+	e.homog[m] = d
+	return d, nil
+}
+
+func (e *Experiments) heteroData() (*scalemodel.HeterogeneousData, error) {
+	if e.hetero != nil {
+		return e.hetero, nil
+	}
+	d, err := e.lab.CollectHeterogeneous(e.suite, e.heteroOpts)
+	if err != nil {
+		return nil, err
+	}
+	e.hetero = d
+	return d, nil
+}
+
+// scalemodelNoExtrap is the no-extrapolation method spec used by several
+// studies.
+func scalemodelNoExtrap() scalemodel.MethodSpec {
+	return scalemodel.MethodSpec{Method: scalemodel.MethodNoExtrapolation}
+}
+
+// BenchError is one benchmark's absolute prediction error, with its LLC
+// MPKI sort key (figures order benchmarks by memory intensity).
+type BenchError struct {
+	Benchmark string
+	MPKI      float64
+	Error     float64
+}
+
+// MethodResult is one method's evaluation outcome.
+type MethodResult struct {
+	Method   string
+	PerBench []BenchError
+	Mean     float64
+	Max      float64
+}
+
+func methodResult(name string, errs []metrics.NamedError) MethodResult {
+	mr := MethodResult{Method: name}
+	vals := make([]float64, 0, len(errs))
+	for _, e := range errs {
+		mr.PerBench = append(mr.PerBench, BenchError{Benchmark: e.Name, MPKI: e.Key, Error: e.Error})
+		vals = append(vals, e.Error)
+	}
+	s := metrics.Summarize(vals)
+	mr.Mean, mr.Max = s.Mean, s.Max
+	return mr
+}
+
+// FigureResult is one regenerated figure or table.
+type FigureResult struct {
+	ID      string
+	Title   string
+	Methods []MethodResult
+	Notes   string
+}
+
+// String renders the figure as a text table: one row per method, with the
+// per-benchmark series (sorted by MPKI) and the mean/max summary the paper
+// quotes.
+func (f *FigureResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	for _, m := range f.Methods {
+		fmt.Fprintf(&b, "  %-22s avg %6.1f%%  max %6.1f%%\n", m.Method, 100*m.Mean, 100*m.Max)
+	}
+	if len(f.Methods) > 0 && len(f.Methods[0].PerBench) > 0 {
+		fmt.Fprintf(&b, "  per-benchmark (sorted by LLC MPKI):\n")
+		fmt.Fprintf(&b, "  %-12s", "benchmark")
+		for _, m := range f.Methods {
+			fmt.Fprintf(&b, " %12s", m.Method)
+		}
+		fmt.Fprintln(&b)
+		for i, be := range f.Methods[0].PerBench {
+			fmt.Fprintf(&b, "  %-12s", be.Benchmark)
+			for _, m := range f.Methods {
+				if i < len(m.PerBench) {
+					fmt.Fprintf(&b, " %11.1f%%", 100*m.PerBench[i].Error)
+				}
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	if f.Notes != "" {
+		fmt.Fprintf(&b, "  note: %s\n", f.Notes)
+	}
+	return b.String()
+}
+
+// predictionSpecs returns the method lineup of Figs. 4, 5 and 12.
+func predictionSpecs() []scalemodel.MethodSpec {
+	return []scalemodel.MethodSpec{
+		{Method: scalemodel.MethodNoExtrapolation},
+		{Method: scalemodel.MethodPrediction, Estimator: scalemodel.DT},
+		{Method: scalemodel.MethodPrediction, Estimator: scalemodel.RF},
+		{Method: scalemodel.MethodPrediction, Estimator: scalemodel.SVM},
+		{Method: scalemodel.MethodRegression, Estimator: scalemodel.DT, Form: fit.Logarithmic},
+		{Method: scalemodel.MethodRegression, Estimator: scalemodel.RF, Form: fit.Logarithmic},
+		{Method: scalemodel.MethodRegression, Estimator: scalemodel.SVM, Form: fit.Logarithmic},
+	}
+}
+
+// Fig3Construction regenerates Fig. 3: single-core scale-model prediction
+// error under the four construction policies (NRS; PRS scaling LLC only;
+// PRS scaling DRAM only; PRS scaling all shared resources), sorted by LLC
+// MPKI, no extrapolation.
+func (e *Experiments) Fig3Construction() (*FigureResult, error) {
+	policies := []struct {
+		name   string
+		policy config.ScalingPolicy
+	}{
+		{"NRS", config.NRS},
+		{"PRS-LLC", config.PRSLLCOnly},
+		{"PRS-DRAM", config.PRSDRAMOnly},
+		{"PRS", config.PRSFull},
+	}
+	out := &FigureResult{ID: "Fig. 3", Title: "Scale-model construction: NRS vs PRS variants (single-core scale model, no extrapolation)"}
+	for _, p := range policies {
+		lab := e.lab.WithPolicy(p.policy)
+		d, err := lab.CollectHomogeneous(e.suite, nil, scalemodel.MetricIPC)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %s: %w", p.name, err)
+		}
+		errs, err := d.EvaluateLOO(scalemodel.MethodSpec{Method: scalemodel.MethodNoExtrapolation})
+		if err != nil {
+			return nil, err
+		}
+		out.Methods = append(out.Methods, methodResult(p.name, errs))
+	}
+	return out, nil
+}
+
+// Fig4Homogeneous regenerates Fig. 4: extrapolation accuracy on homogeneous
+// mixes — No Extrapolation vs ML prediction (DT/RF/SVM) vs ML regression
+// (DT/RF/SVM-log), leave-one-benchmark-out.
+func (e *Experiments) Fig4Homogeneous() (*FigureResult, error) {
+	d, err := e.homogData(scalemodel.MetricIPC)
+	if err != nil {
+		return nil, err
+	}
+	out := &FigureResult{ID: "Fig. 4", Title: "Scale-model extrapolation, homogeneous workload mixes (LOO)"}
+	for _, spec := range predictionSpecs() {
+		errs, err := d.EvaluateLOO(spec)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 %s: %w", spec.Name(), err)
+		}
+		out.Methods = append(out.Methods, methodResult(spec.Name(), errs))
+	}
+	return out, nil
+}
+
+// Fig5Heterogeneous regenerates Fig. 5: per-application prediction error on
+// heterogeneous mixes.
+func (e *Experiments) Fig5Heterogeneous() (*FigureResult, error) {
+	d, err := e.heteroData()
+	if err != nil {
+		return nil, err
+	}
+	out := &FigureResult{ID: "Fig. 5", Title: "Scale-model extrapolation, heterogeneous workload mixes"}
+	for _, spec := range predictionSpecs() {
+		errs, err := d.EvaluatePerApp(spec)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", spec.Name(), err)
+		}
+		out.Methods = append(out.Methods, methodResult(spec.Name(), errs))
+	}
+	return out, nil
+}
+
+// STPResult is Fig. 6's outcome: sorted per-mix STP errors per method.
+type STPResult struct {
+	Methods []STPMethodResult
+	Mixes   int
+}
+
+// STPMethodResult is one regression method's STP error curve.
+type STPMethodResult struct {
+	Method string
+	Sorted []float64 // ascending per-mix absolute errors
+	Mean   float64
+	Max    float64
+}
+
+// String renders the sorted STP error curves.
+func (r *STPResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6 — STP prediction error across %d heterogeneous mixes\n", r.Mixes)
+	for _, m := range r.Methods {
+		fmt.Fprintf(&b, "  %-10s avg %5.1f%%  max %5.1f%%\n", m.Method, 100*m.Mean, 100*m.Max)
+	}
+	return b.String()
+}
+
+// Fig6STP regenerates Fig. 6: system-throughput prediction error of the
+// ML-based regression methods across the heterogeneous STP mixes.
+func (e *Experiments) Fig6STP() (*STPResult, error) {
+	d, err := e.heteroData()
+	if err != nil {
+		return nil, err
+	}
+	out := &STPResult{Mixes: len(d.STPMixes)}
+	for _, est := range scalemodel.Kinds() {
+		spec := scalemodel.MethodSpec{Method: scalemodel.MethodRegression, Estimator: est, Form: fit.Logarithmic}
+		errs, err := d.EvaluateSTP(spec)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s: %w", spec.Name(), err)
+		}
+		sorted := metrics.Sorted(errs)
+		s := metrics.Summarize(errs)
+		out.Methods = append(out.Methods, STPMethodResult{
+			Method: spec.Name(), Sorted: sorted, Mean: s.Mean, Max: s.Max,
+		})
+	}
+	return out, nil
+}
+
+// SpeedupPoint is one point of Fig. 7: a method's mean error and its
+// simulation speedup over simulating the target system.
+type SpeedupPoint struct {
+	Label   string
+	Error   float64
+	Speedup float64
+}
+
+// SpeedupResult is Fig. 7's outcome.
+type SpeedupResult struct {
+	NoExtrapolation []SpeedupPoint // 16-, 8-, 4-, 2-, 1-core scale models
+	ML              []SpeedupPoint // SVM, SVM-log (single-core scale model)
+}
+
+// String renders the error-versus-speedup points.
+func (r *SpeedupResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7 — prediction error vs simulation speedup\n")
+	for _, p := range r.NoExtrapolation {
+		fmt.Fprintf(&b, "  No Extrapolation %-9s err %5.1f%%  speedup %6.1fx\n", p.Label, 100*p.Error, p.Speedup)
+	}
+	for _, p := range r.ML {
+		fmt.Fprintf(&b, "  %-26s err %5.1f%%  speedup %6.1fx\n", p.Label, 100*p.Error, p.Speedup)
+	}
+	return b.String()
+}
+
+// Fig7ErrorVsSpeedup regenerates Fig. 7: No Extrapolation accuracy with
+// increasingly large scale models (1-16 cores) against their measured
+// simulation speedup, plus the ML methods at the single-core scale model's
+// speedup. Speedups are measured wall-clock ratios on this host.
+func (e *Experiments) Fig7ErrorVsSpeedup() (*SpeedupResult, error) {
+	d, err := e.homogData(scalemodel.MetricIPC)
+	if err != nil {
+		return nil, err
+	}
+	// Wall-clock totals per machine size over the homogeneous suite (all
+	// runs are cached by now; this only reads their recorded durations).
+	simSecs := map[int]float64{}
+	for _, prof := range e.suite {
+		for _, c := range append([]int{1}, e.scaleCores...) {
+			res, err := e.lab.HomogeneousRun(c, prof)
+			if err != nil {
+				return nil, err
+			}
+			simSecs[c] += res.WallClock.Seconds()
+		}
+		res, err := e.lab.HomogeneousRun(e.lab.Target.Cores, prof)
+		if err != nil {
+			return nil, err
+		}
+		simSecs[e.lab.Target.Cores] += res.WallClock.Seconds()
+	}
+	targetSecs := simSecs[e.lab.Target.Cores]
+
+	out := &SpeedupResult{}
+	// No-extrapolation points: the X-core scale-model reading predicts
+	// per-core target performance directly.
+	sizes := append([]int{1}, e.scaleCores...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	for _, X := range sizes {
+		var errs []float64
+		for _, b := range d.Benchmarks {
+			pred := d.Meas[b].IPC
+			if X > 1 {
+				pred = d.Scale[X][b]
+			}
+			errs = append(errs, metrics.PredictionError(pred, d.Target[b]))
+		}
+		s := metrics.Summarize(errs)
+		out.NoExtrapolation = append(out.NoExtrapolation, SpeedupPoint{
+			Label:   fmt.Sprintf("%d-core", X),
+			Error:   s.Mean,
+			Speedup: targetSecs / simSecs[X],
+		})
+	}
+	// ML points: both methods only need the single-core scale model at
+	// prediction time.
+	for _, spec := range []scalemodel.MethodSpec{
+		{Method: scalemodel.MethodPrediction, Estimator: scalemodel.SVM},
+		{Method: scalemodel.MethodRegression, Estimator: scalemodel.SVM, Form: fit.Logarithmic},
+	} {
+		errs, err := d.EvaluateLOO(spec)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float64, len(errs))
+		for i, e := range errs {
+			vals[i] = e.Error
+		}
+		s := metrics.Summarize(vals)
+		out.ML = append(out.ML, SpeedupPoint{
+			Label:   spec.Name() + " (1-core)",
+			Error:   s.Mean,
+			Speedup: targetSecs / simSecs[1],
+		})
+	}
+	return out, nil
+}
+
+// Fig8BandwidthScaling regenerates Fig. 8: MC-first versus MB-first DRAM
+// bandwidth scaling, comparing the direct multi-core scale-model readings
+// and the ML-based regression methods under both orders.
+func (e *Experiments) Fig8BandwidthScaling() (*FigureResult, error) {
+	out := &FigureResult{ID: "Fig. 8", Title: "Memory bandwidth scaling alternatives under PRS (MC-first vs MB-first)"}
+	for _, bwp := range []struct {
+		name string
+		bw   config.BandwidthScaling
+	}{{"MC-first", config.MCFirst}, {"MB-first", config.MBFirst}} {
+		lab := e.lab.WithBandwidth(bwp.bw)
+		d, err := lab.CollectHomogeneous(e.suite, e.scaleCores, scalemodel.MetricIPC)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s: %w", bwp.name, err)
+		}
+		// Direct scale-model readings per size.
+		for _, X := range e.scaleCores {
+			var errs []float64
+			for _, b := range d.Benchmarks {
+				errs = append(errs, metrics.PredictionError(d.Scale[X][b], d.Target[b]))
+			}
+			s := metrics.Summarize(errs)
+			out.Methods = append(out.Methods, MethodResult{
+				Method: fmt.Sprintf("%s %d-core", bwp.name, X),
+				Mean:   s.Mean, Max: s.Max,
+			})
+		}
+		for _, est := range scalemodel.Kinds() {
+			spec := scalemodel.MethodSpec{Method: scalemodel.MethodRegression, Estimator: est, Form: fit.Logarithmic}
+			errs, err := d.EvaluateLOO(spec)
+			if err != nil {
+				return nil, err
+			}
+			mr := methodResult(fmt.Sprintf("%s %s", bwp.name, spec.Name()), errs)
+			mr.PerBench = nil // summary-only rows for this figure
+			out.Methods = append(out.Methods, mr)
+		}
+	}
+	return out, nil
+}
+
+// Fig9RegressionForms regenerates Fig. 9: linear vs power vs logarithmic
+// regression under SVM-based regression.
+func (e *Experiments) Fig9RegressionForms() (*FigureResult, error) {
+	d, err := e.homogData(scalemodel.MetricIPC)
+	if err != nil {
+		return nil, err
+	}
+	out := &FigureResult{ID: "Fig. 9", Title: "Regression curve families under SVM-based regression"}
+	for _, form := range []fit.Model{fit.Linear, fit.Power, fit.Logarithmic} {
+		spec := scalemodel.MethodSpec{Method: scalemodel.MethodRegression, Estimator: scalemodel.SVM, Form: form}
+		errs, err := d.EvaluateLOO(spec)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s: %w", spec.Name(), err)
+		}
+		out.Methods = append(out.Methods, methodResult(spec.Name(), errs))
+	}
+	return out, nil
+}
+
+// Fig10Inputs regenerates Fig. 10: using IPC-only versus IPC+bandwidth as
+// model inputs, for every ML method.
+func (e *Experiments) Fig10Inputs() (*FigureResult, error) {
+	d, err := e.homogData(scalemodel.MetricIPC)
+	if err != nil {
+		return nil, err
+	}
+	out := &FigureResult{ID: "Fig. 10", Title: "ML input variables: performance-only vs performance+bandwidth"}
+	base := predictionSpecs()[1:] // skip No Extrapolation
+	for _, in := range []scalemodel.Inputs{scalemodel.InputsIPCOnly, scalemodel.InputsIPCAndBW} {
+		for _, spec := range base {
+			spec.Inputs = in
+			errs, err := d.EvaluateLOO(spec)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s/%s: %w", spec.Name(), in, err)
+			}
+			mr := methodResult(fmt.Sprintf("%s (%s)", spec.Name(), in), errs)
+			mr.PerBench = nil
+			out.Methods = append(out.Methods, mr)
+		}
+	}
+	return out, nil
+}
+
+// Fig11ScaleModelCount regenerates Fig. 11: SVM-log regression accuracy as
+// the number of multi-core scale models shrinks from four to two.
+func (e *Experiments) Fig11ScaleModelCount() (*FigureResult, error) {
+	d, err := e.homogData(scalemodel.MetricIPC)
+	if err != nil {
+		return nil, err
+	}
+	out := &FigureResult{ID: "Fig. 11", Title: "Number of multi-core scale models used for SVM-log regression"}
+	subsets := [][]int{{2, 4}, {2, 4, 8}, {2, 4, 8, 16}}
+	for _, sub := range subsets {
+		spec := scalemodel.MethodSpec{
+			Method: scalemodel.MethodRegression, Estimator: scalemodel.SVM,
+			Form: fit.Logarithmic, ScaleModels: sub,
+		}
+		errs, err := d.EvaluateLOO(spec)
+		if err != nil {
+			return nil, fmt.Errorf("fig11 %v: %w", sub, err)
+		}
+		mr := methodResult(fmt.Sprintf("%d scale models %v", len(sub), sub), errs)
+		mr.PerBench = nil
+		out.Methods = append(out.Methods, mr)
+	}
+	return out, nil
+}
+
+// Fig12Bandwidth regenerates Fig. 12: predicting per-application memory
+// bandwidth utilization instead of performance.
+func (e *Experiments) Fig12Bandwidth() (*FigureResult, error) {
+	d, err := e.homogData(scalemodel.MetricBW)
+	if err != nil {
+		return nil, err
+	}
+	out := &FigureResult{ID: "Fig. 12", Title: "Predicting memory bandwidth utilization"}
+	for _, spec := range predictionSpecs() {
+		errs, err := d.EvaluateLOO(spec)
+		if err != nil {
+			return nil, fmt.Errorf("fig12 %s: %w", spec.Name(), err)
+		}
+		mr := methodResult(spec.Name(), errs)
+		mr.PerBench = nil
+		out.Methods = append(out.Methods, mr)
+	}
+	return out, nil
+}
+
+// SimTimeRow is one row of the simulation-cost study (§I: 8/16/32-core
+// simulations take super-linearly longer).
+type SimTimeRow struct {
+	Cores      int
+	TotalSecs  float64
+	PerBenchMs float64
+}
+
+// SimulationTimeStudy measures the wall-clock cost of simulating the
+// homogeneous suite at each machine size, reproducing §I's super-linear
+// growth observation and the 28x single-core speedup claim.
+func (e *Experiments) SimulationTimeStudy() ([]SimTimeRow, error) {
+	if _, err := e.homogData(scalemodel.MetricIPC); err != nil {
+		return nil, err
+	}
+	var rows []SimTimeRow
+	for _, c := range []int{1, 2, 4, 8, 16, 32} {
+		total := 0.0
+		for _, prof := range e.suite {
+			res, err := e.lab.HomogeneousRun(c, prof)
+			if err != nil {
+				return nil, err
+			}
+			total += res.WallClock.Seconds()
+		}
+		rows = append(rows, SimTimeRow{
+			Cores:      c,
+			TotalSecs:  total,
+			PerBenchMs: 1000 * total / float64(len(e.suite)),
+		})
+	}
+	return rows, nil
+}
+
+// PredictTargetIPC predicts the named benchmark's per-core IPC on the
+// 32-core target using SVM-log regression trained on the rest of the suite
+// — the paper's recommended practical configuration (no target-system
+// simulations needed for training).
+func (e *Experiments) PredictTargetIPC(benchmark string) (float64, error) {
+	d, err := e.homogData(scalemodel.MetricIPC)
+	if err != nil {
+		return 0, err
+	}
+	spec := scalemodel.MethodSpec{
+		Method: scalemodel.MethodRegression, Estimator: scalemodel.SVM, Form: fit.Logarithmic,
+	}
+	pred, _, err := d.PredictOne(benchmark, spec)
+	return pred, err
+}
+
+// ActualTargetIPC simulates the benchmark homogeneously on the 32-core
+// target and returns the measured per-core IPC (for validating
+// predictions).
+func (e *Experiments) ActualTargetIPC(benchmark string) (float64, error) {
+	d, err := e.homogData(scalemodel.MetricIPC)
+	if err != nil {
+		return 0, err
+	}
+	v, ok := d.Target[benchmark]
+	if !ok {
+		return 0, fmt.Errorf("scalesim: benchmark %q not in the experiment suite", benchmark)
+	}
+	return v, nil
+}

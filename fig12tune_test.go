@@ -1,0 +1,68 @@
+package scalesim
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"scalesim/internal/ml"
+	"scalesim/internal/scalemodel"
+)
+
+// TestFig12Tune is a manual full-fidelity calibration aid for the
+// bandwidth-prediction task (run with SCALESIM_FIG12_TUNE=1 and -v).
+func TestFig12Tune(t *testing.T) {
+	if os.Getenv("SCALESIM_FIG12_TUNE") == "" {
+		t.Skip("manual calibration aid (set SCALESIM_FIG12_TUNE=1)")
+	}
+	ex, err := NewExperiments(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ex.homogData(scalemodel.MetricBW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type row struct {
+		name    string
+		x       []float64
+		y, bwss float64
+	}
+	var rows []row
+	for _, b := range d.Benchmarks {
+		f := d.Feat[b]
+		rows = append(rows, row{b, []float64{f.IPC, f.BW, f.CoBW}, d.Target[b], f.BW})
+	}
+	evalDelta := func(label string, delta float64, mk func() ml.Regressor) {
+		sum, max := 0.0, 0.0
+		worst := ""
+		for i := range rows {
+			var X [][]float64
+			var y []float64
+			for j := range rows {
+				if j == i {
+					continue
+				}
+				X = append(X, rows[j].x)
+				y = append(y, rows[j].y/(rows[j].bwss+delta))
+			}
+			m := mk()
+			if err := m.Fit(X, y); err != nil {
+				t.Fatal(err)
+			}
+			pred := m.Predict(rows[i].x) * (rows[i].bwss + delta)
+			e := math.Abs(pred-rows[i].y) / rows[i].y
+			sum += e
+			if e > max {
+				max, worst = e, fmt.Sprintf("%s pred %.3f actual %.3f bwss %.3f", rows[i].name, pred, rows[i].y, rows[i].x[1])
+			}
+		}
+		t.Logf("%-24s avg %5.1f%% max %6.1f%% (%s)", label, 100*sum/float64(len(rows)), 100*max, worst)
+	}
+	for _, delta := range []float64{0.05, 0.02, 0.01, 0.005, 0} {
+		evalDelta(fmt.Sprintf("SVR d=%g", delta), delta, func() ml.Regressor { return &ml.SVR{C: 1, Gamma: 1} })
+		evalDelta(fmt.Sprintf("DT  d=%g", delta), delta, func() ml.Regressor { return &ml.DecisionTree{} })
+		evalDelta(fmt.Sprintf("RF  d=%g", delta), delta, func() ml.Regressor { return &ml.RandomForest{} })
+	}
+}

@@ -1,0 +1,3 @@
+module scalesim
+
+go 1.22

@@ -1,0 +1,246 @@
+// Package branch implements the branch direction predictors used by the core
+// model. The target system (Table II) uses a hybrid local/global predictor;
+// bimodal, gshare and local two-level predictors are provided both as
+// building blocks of the hybrid and for sensitivity studies.
+//
+// Predictors are real hardware structures (counter tables, history
+// registers), trained online by the instruction stream, so per-benchmark
+// misprediction rates are emergent from each profile's static branch
+// population and outcome biases.
+package branch
+
+// Predictor predicts conditional branch directions.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the actual outcome.
+	Update(pc uint64, taken bool)
+	// Name identifies the predictor configuration.
+	Name() string
+}
+
+// counter is a 2-bit saturating counter; values 0-1 predict not-taken,
+// 2-3 predict taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+func hashPC(pc uint64) uint64 {
+	// Drop instruction alignment bits and mix the rest so nearby branches
+	// spread across table entries.
+	pc >>= 2
+	pc ^= pc >> 13
+	pc *= 0x2545f4914f6cdd1d
+	return pc ^ (pc >> 31)
+}
+
+// Bimodal is a PC-indexed table of 2-bit counters.
+type Bimodal struct {
+	table []counter
+	mask  uint64
+}
+
+// NewBimodal returns a bimodal predictor with entries counters (power of 2).
+func NewBimodal(entries int) *Bimodal {
+	entries = ceilPow2(entries)
+	return &Bimodal{table: make([]counter, entries), mask: uint64(entries - 1)}
+}
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return "bimodal" }
+
+func (b *Bimodal) idx(pc uint64) uint64 { return hashPC(pc) & b.mask }
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[b.idx(pc)].taken() }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := b.idx(pc)
+	b.table[i] = b.table[i].update(taken)
+}
+
+// Gshare XORs a global history register with the PC to index a counter
+// table, capturing correlation between branches.
+type Gshare struct {
+	table   []counter
+	mask    uint64
+	history uint64
+	histLen uint
+}
+
+// NewGshare returns a gshare predictor with entries counters and histLen
+// bits of global history.
+func NewGshare(entries int, histLen uint) *Gshare {
+	entries = ceilPow2(entries)
+	return &Gshare{table: make([]counter, entries), mask: uint64(entries - 1), histLen: histLen}
+}
+
+// Name implements Predictor.
+func (g *Gshare) Name() string { return "gshare" }
+
+func (g *Gshare) idx(pc uint64) uint64 {
+	return (hashPC(pc) ^ (g.history & ((1 << g.histLen) - 1))) & g.mask
+}
+
+// Predict implements Predictor.
+func (g *Gshare) Predict(pc uint64) bool { return g.table[g.idx(pc)].taken() }
+
+// Update implements Predictor.
+func (g *Gshare) Update(pc uint64, taken bool) {
+	i := g.idx(pc)
+	g.table[i] = g.table[i].update(taken)
+	g.history <<= 1
+	if taken {
+		g.history |= 1
+	}
+}
+
+// Local is a two-level predictor: a per-branch history table selects a
+// pattern-indexed counter table, capturing per-branch periodic behaviour.
+type Local struct {
+	histories []uint16
+	counters  []counter
+	histMask  uint64
+	cntMask   uint64
+	histLen   uint
+}
+
+// NewLocal returns a local two-level predictor with histEntries history
+// registers of histLen bits and 2^histLen pattern counters.
+func NewLocal(histEntries int, histLen uint) *Local {
+	histEntries = ceilPow2(histEntries)
+	cnt := 1 << histLen
+	return &Local{
+		histories: make([]uint16, histEntries),
+		counters:  make([]counter, cnt),
+		histMask:  uint64(histEntries - 1),
+		cntMask:   uint64(cnt - 1),
+		histLen:   histLen,
+	}
+}
+
+// Name implements Predictor.
+func (l *Local) Name() string { return "local" }
+
+func (l *Local) pattern(pc uint64) uint64 {
+	h := l.histories[hashPC(pc)&l.histMask]
+	return uint64(h) & l.cntMask
+}
+
+// Predict implements Predictor.
+func (l *Local) Predict(pc uint64) bool { return l.counters[l.pattern(pc)].taken() }
+
+// Update implements Predictor.
+func (l *Local) Update(pc uint64, taken bool) {
+	p := l.pattern(pc)
+	l.counters[p] = l.counters[p].update(taken)
+	hi := hashPC(pc) & l.histMask
+	l.histories[hi] <<= 1
+	if taken {
+		l.histories[hi] |= 1
+	}
+}
+
+// Tournament is the Table II "hybrid local/global predictor": a chooser
+// table of 2-bit counters picks, per branch, between a local two-level
+// component and a global (gshare) component.
+type Tournament struct {
+	local   *Local
+	global  *Gshare
+	chooser []counter // >=2: trust global, <2: trust local
+	mask    uint64
+}
+
+// NewTournament returns the default hybrid predictor sized like a
+// mid-2010s high-end core: 4K-entry components and chooser.
+func NewTournament() *Tournament {
+	return NewTournamentSized(4096, 12)
+}
+
+// NewTournamentSized returns a hybrid predictor with the given component
+// table size and history length.
+func NewTournamentSized(entries int, histLen uint) *Tournament {
+	entries = ceilPow2(entries)
+	return &Tournament{
+		local:   NewLocal(entries, histLen),
+		global:  NewGshare(entries, histLen),
+		chooser: make([]counter, entries),
+		mask:    uint64(entries - 1),
+	}
+}
+
+// Name implements Predictor.
+func (t *Tournament) Name() string { return "hybrid local/global" }
+
+// Predict implements Predictor.
+func (t *Tournament) Predict(pc uint64) bool {
+	if t.chooser[hashPC(pc)&t.mask].taken() {
+		return t.global.Predict(pc)
+	}
+	return t.local.Predict(pc)
+}
+
+// Update implements Predictor.
+func (t *Tournament) Update(pc uint64, taken bool) {
+	lp := t.local.Predict(pc)
+	gp := t.global.Predict(pc)
+	// Train the chooser only when the components disagree.
+	if lp != gp {
+		i := hashPC(pc) & t.mask
+		t.chooser[i] = t.chooser[i].update(gp == taken)
+	}
+	t.local.Update(pc, taken)
+	t.global.Update(pc, taken)
+}
+
+// Stats tracks prediction accuracy for one core.
+type Stats struct {
+	Branches    uint64
+	Mispredicts uint64
+}
+
+// MispredictRate returns mispredictions per branch, or 0 with no branches.
+func (s *Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// Record runs one branch through p, updating stats, and reports whether the
+// branch was mispredicted.
+func (s *Stats) Record(p Predictor, pc uint64, taken bool) bool {
+	pred := p.Predict(pc)
+	p.Update(pc, taken)
+	s.Branches++
+	if pred != taken {
+		s.Mispredicts++
+		return true
+	}
+	return false
+}
+
+func ceilPow2(n int) int {
+	if n < 2 {
+		return 2
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,317 @@
+// Package cache implements the structurally simulated cache hierarchy: true
+// LRU set-associative levels for the private L1-I/L1-D/L2 and a shared NUCA
+// last-level cache composed of per-core slices selected by address hash.
+//
+// Caches hold real tag/LRU state, so capacity and conflict behaviour — and
+// in particular *contention* between co-running programs interleaving
+// accesses in the shared LLC — is emergent rather than modelled. This is the
+// property scale-model simulation depends on: the same program sees
+// different miss rates on differently sized shared caches.
+package cache
+
+import (
+	"fmt"
+
+	"scalesim/internal/config"
+)
+
+// Stats counts events at one cache level (or one LLC slice).
+type Stats struct {
+	Accesses  uint64
+	Misses    uint64
+	Writes    uint64
+	Evictions uint64
+	// Writebacks counts dirty evictions, which generate write traffic to the
+	// next level down (or DRAM for the LLC).
+	Writebacks uint64
+}
+
+// MissRate returns misses per access, or 0 if the level was never accessed.
+func (s *Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Accesses += other.Accesses
+	s.Misses += other.Misses
+	s.Writes += other.Writes
+	s.Evictions += other.Evictions
+	s.Writebacks += other.Writebacks
+}
+
+// Level is one set-associative, write-back, write-allocate cache level with
+// true LRU replacement.
+type Level struct {
+	sets      int
+	assoc     int
+	lineShift uint
+	setMask   uint64
+
+	// Way state, laid out set-major: index = set*assoc + way.
+	tags  []uint64
+	valid []bool
+	dirty []bool
+	stamp []uint32 // LRU timestamps (per-set lazy counter)
+
+	clock []uint32 // per-set stamp counter
+
+	Stats Stats
+}
+
+// NewLevel builds a cache level from cfg with its capacity divided by scale
+// (scale <= 1 means unscaled). Associativity and line size are preserved;
+// the set count shrinks, exactly like a die-shrunk miniature.
+func NewLevel(cfg config.CacheLevelConfig, scale int) (*Level, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	if cfg.LineSize <= 0 || cfg.Assoc <= 0 || cfg.Size <= 0 {
+		return nil, fmt.Errorf("cache: non-positive geometry %+v", cfg)
+	}
+	sets := int(int64(cfg.Size) / (int64(cfg.Assoc) * int64(cfg.LineSize)) / int64(scale))
+	if sets < 1 {
+		sets = 1
+	}
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d not a power of two (size %v assoc %d scale %d)",
+			sets, cfg.Size, cfg.Assoc, scale)
+	}
+	shift := uint(0)
+	for (1 << shift) < int(cfg.LineSize) {
+		shift++
+	}
+	n := sets * cfg.Assoc
+	return &Level{
+		sets:      sets,
+		assoc:     cfg.Assoc,
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		tags:      make([]uint64, n),
+		valid:     make([]bool, n),
+		dirty:     make([]bool, n),
+		stamp:     make([]uint32, n),
+		clock:     make([]uint32, sets),
+	}, nil
+}
+
+// Sets returns the number of sets.
+func (l *Level) Sets() int { return l.sets }
+
+// Assoc returns the associativity.
+func (l *Level) Assoc() int { return l.assoc }
+
+// LineSize returns the line size in bytes.
+func (l *Level) LineSize() int { return 1 << l.lineShift }
+
+// CapacityBytes returns the (scaled) capacity.
+func (l *Level) CapacityBytes() int64 {
+	return int64(l.sets) * int64(l.assoc) * int64(l.LineSize())
+}
+
+// LineAddr converts a byte address to a line address.
+func (l *Level) LineAddr(addr uint64) uint64 { return addr >> l.lineShift }
+
+// Access looks up the line containing addr. On a hit it updates LRU state
+// (and the dirty bit for writes) and returns true. On a miss it returns
+// false without allocating; the caller is responsible for resolving the miss
+// down the hierarchy and then calling Fill.
+func (l *Level) Access(addr uint64, write bool) bool {
+	line := addr >> l.lineShift
+	set := line & l.setMask
+	base := int(set) * l.assoc
+	l.Stats.Accesses++
+	if write {
+		l.Stats.Writes++
+	}
+	for w := 0; w < l.assoc; w++ {
+		i := base + w
+		if l.valid[i] && l.tags[i] == line {
+			l.clock[set]++
+			l.stamp[i] = l.clock[set]
+			if write {
+				l.dirty[i] = true
+			}
+			return true
+		}
+	}
+	l.Stats.Misses++
+	return false
+}
+
+// Probe reports whether the line containing addr is present without
+// updating LRU state or statistics.
+func (l *Level) Probe(addr uint64) bool {
+	line := addr >> l.lineShift
+	set := line & l.setMask
+	base := int(set) * l.assoc
+	for w := 0; w < l.assoc; w++ {
+		i := base + w
+		if l.valid[i] && l.tags[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill allocates the line containing addr (marking it dirty if dirty),
+// evicting the LRU way if the set is full. It returns the evicted line's
+// address and dirty state; evicted is false if an invalid way was used.
+func (l *Level) Fill(addr uint64, dirty bool) (victimAddr uint64, victimDirty, evicted bool) {
+	line := addr >> l.lineShift
+	set := line & l.setMask
+	base := int(set) * l.assoc
+
+	victim := -1
+	var oldest uint32
+	first := true
+	for w := 0; w < l.assoc; w++ {
+		i := base + w
+		if !l.valid[i] {
+			victim = i
+			evicted = false
+			break
+		}
+		// Unsigned distance from the current clock handles wrap-around.
+		age := l.clock[set] - l.stamp[i]
+		if first || age > oldest {
+			oldest = age
+			victim = i
+			first = false
+		}
+	}
+	if l.valid[victim] {
+		evicted = true
+		victimAddr = l.tags[victim] << l.lineShift
+		victimDirty = l.dirty[victim]
+		l.Stats.Evictions++
+		if victimDirty {
+			l.Stats.Writebacks++
+		}
+	}
+	l.tags[victim] = line
+	l.valid[victim] = true
+	l.dirty[victim] = dirty
+	l.clock[set]++
+	l.stamp[victim] = l.clock[set]
+	return victimAddr, victimDirty, evicted
+}
+
+// Invalidate removes the line containing addr if present, returning whether
+// it was present and dirty.
+func (l *Level) Invalidate(addr uint64) (present, dirty bool) {
+	line := addr >> l.lineShift
+	set := line & l.setMask
+	base := int(set) * l.assoc
+	for w := 0; w < l.assoc; w++ {
+		i := base + w
+		if l.valid[i] && l.tags[i] == line {
+			l.valid[i] = false
+			return true, l.dirty[i]
+		}
+	}
+	return false, false
+}
+
+// NUCA is the shared last-level cache: one slice per core, with lines
+// distributed across slices by a mixing hash of the line address. Requester
+// core ids attribute per-core statistics even though the structure is
+// shared.
+type NUCA struct {
+	slices    []*Level
+	perCore   []Stats
+	lineShift uint
+}
+
+// NewNUCA builds the LLC from cfg with capacity scaled down by scale, for a
+// machine with cores cores (per-core stats attribution).
+func NewNUCA(cfg config.LLCConfig, scale, cores int) (*NUCA, error) {
+	if cfg.Slices < 1 {
+		return nil, fmt.Errorf("cache: LLC with %d slices", cfg.Slices)
+	}
+	lvl := config.CacheLevelConfig{
+		Size: cfg.SlicePerCore, Assoc: cfg.Assoc,
+		LineSize: cfg.LineSize, AccessTime: cfg.AccessTime,
+	}
+	n := &NUCA{perCore: make([]Stats, cores)}
+	for i := 0; i < cfg.Slices; i++ {
+		s, err := NewLevel(lvl, scale)
+		if err != nil {
+			return nil, fmt.Errorf("cache: LLC slice: %w", err)
+		}
+		n.slices = append(n.slices, s)
+		n.lineShift = s.lineShift
+	}
+	return n, nil
+}
+
+// Slices returns the number of LLC slices.
+func (n *NUCA) Slices() int { return len(n.slices) }
+
+// SliceOf returns the home slice index for addr. A multiplicative hash of
+// the line address spreads consecutive lines across slices, as in real NUCA
+// designs (and makes slice load roughly uniform for any stride).
+func (n *NUCA) SliceOf(addr uint64) int {
+	line := addr >> n.lineShift
+	line *= 0x9e3779b97f4a7c15
+	return int((line >> 40) % uint64(len(n.slices)))
+}
+
+// Access looks up addr in its home slice on behalf of core. It returns the
+// slice index (for NoC distance) and whether it hit.
+func (n *NUCA) Access(core int, addr uint64, write bool) (slice int, hit bool) {
+	slice = n.SliceOf(addr)
+	hit = n.slices[slice].Access(addr, write)
+	st := &n.perCore[core]
+	st.Accesses++
+	if write {
+		st.Writes++
+	}
+	if !hit {
+		st.Misses++
+	}
+	return slice, hit
+}
+
+// Probe reports whether addr is present in its home slice, without
+// disturbing LRU state or statistics.
+func (n *NUCA) Probe(addr uint64) bool {
+	return n.slices[n.SliceOf(addr)].Probe(addr)
+}
+
+// Fill allocates addr in its home slice and returns the victim, as
+// Level.Fill. Writebacks are attributed to core.
+func (n *NUCA) Fill(core int, addr uint64, dirty bool) (victimAddr uint64, victimDirty, evicted bool) {
+	victimAddr, victimDirty, evicted = n.slices[n.SliceOf(addr)].Fill(addr, dirty)
+	if evicted {
+		n.perCore[core].Evictions++
+		if victimDirty {
+			n.perCore[core].Writebacks++
+		}
+	}
+	return victimAddr, victimDirty, evicted
+}
+
+// CoreStats returns the per-core attribution for core.
+func (n *NUCA) CoreStats(core int) Stats { return n.perCore[core] }
+
+// TotalStats returns aggregate statistics across all slices.
+func (n *NUCA) TotalStats() Stats {
+	var t Stats
+	for _, s := range n.slices {
+		t.Add(s.Stats)
+	}
+	return t
+}
+
+// CapacityBytes returns the total (scaled) LLC capacity.
+func (n *NUCA) CapacityBytes() int64 {
+	var t int64
+	for _, s := range n.slices {
+		t += s.CapacityBytes()
+	}
+	return t
+}

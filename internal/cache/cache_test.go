@@ -1,0 +1,395 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scalesim/internal/config"
+	"scalesim/internal/xrand"
+)
+
+func mustLevel(t *testing.T, size config.Bytes, assoc int, scale int) *Level {
+	t.Helper()
+	l, err := NewLevel(config.CacheLevelConfig{Size: size, Assoc: assoc, LineSize: 64, AccessTime: 4}, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestGeometry(t *testing.T) {
+	l := mustLevel(t, 32*config.KB, 8, 1)
+	if l.Sets() != 64 || l.Assoc() != 8 || l.LineSize() != 64 {
+		t.Fatalf("geometry sets=%d assoc=%d line=%d, want 64/8/64", l.Sets(), l.Assoc(), l.LineSize())
+	}
+	if l.CapacityBytes() != 32*1024 {
+		t.Fatalf("capacity %d, want 32768", l.CapacityBytes())
+	}
+	scaled := mustLevel(t, 32*config.KB, 8, 8)
+	if scaled.Sets() != 8 {
+		t.Fatalf("scaled sets %d, want 8", scaled.Sets())
+	}
+}
+
+func TestNewLevelErrors(t *testing.T) {
+	if _, err := NewLevel(config.CacheLevelConfig{Size: 0, Assoc: 8, LineSize: 64}, 1); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := NewLevel(config.CacheLevelConfig{Size: 3 * config.KB, Assoc: 8, LineSize: 64}, 1); err == nil {
+		t.Error("non-power-of-two set count accepted")
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	l := mustLevel(t, 32*config.KB, 8, 1)
+	addr := uint64(0xdeadbe00)
+	if l.Access(addr, false) {
+		t.Fatal("hit on cold cache")
+	}
+	l.Fill(addr, false)
+	if !l.Access(addr, false) {
+		t.Fatal("miss after fill")
+	}
+	// Same line, different byte: still a hit.
+	if !l.Access(addr+63, false) {
+		t.Fatal("miss within the same line")
+	}
+	// Next line: miss.
+	if l.Access(addr+64, false) {
+		t.Fatal("hit on neighbouring line")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// Direct construction of a tiny cache: 2 sets x 2 ways, line 64.
+	l := mustLevel(t, 256, 2, 1)
+	if l.Sets() != 2 {
+		t.Fatalf("sets = %d, want 2", l.Sets())
+	}
+	// Three lines mapping to set 0: line addresses 0, 2, 4 (even lines).
+	a, b, c := uint64(0), uint64(2*64), uint64(4*64)
+	l.Fill(a, false)
+	l.Fill(b, false)
+	l.Access(a, false) // a is now MRU, b is LRU
+	victim, _, evicted := l.Fill(c, false)
+	if !evicted {
+		t.Fatal("no eviction from full set")
+	}
+	if victim != b {
+		t.Fatalf("evicted %#x, want LRU %#x", victim, b)
+	}
+	if !l.Access(a, false) || !l.Access(c, false) {
+		t.Fatal("resident lines missing after eviction")
+	}
+	if l.Access(b, false) {
+		t.Fatal("evicted line still hits")
+	}
+}
+
+func TestDirtyWritebackPath(t *testing.T) {
+	l := mustLevel(t, 256, 2, 1)
+	a, b, c := uint64(0), uint64(2*64), uint64(4*64)
+	l.Fill(a, false)
+	l.Access(a, true) // dirty a
+	l.Fill(b, false)
+	l.Access(b, false)
+	// a is LRU and dirty.
+	victim, dirty, evicted := l.Fill(c, false)
+	if !evicted || victim != a || !dirty {
+		t.Fatalf("evicted=(%v,%#x,dirty=%v), want dirty eviction of %#x", evicted, victim, dirty, a)
+	}
+	if l.Stats.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", l.Stats.Writebacks)
+	}
+}
+
+func TestFillDirtyFlag(t *testing.T) {
+	l := mustLevel(t, 256, 2, 1)
+	l.Fill(0, true) // filled dirty (write-allocate on store miss)
+	l.Fill(2*64, false)
+	victim, dirty, evicted := l.Fill(4*64, false)
+	if !evicted || victim != 0 || !dirty {
+		t.Fatalf("write-allocated line not evicted dirty: (%v, %#x, %v)", evicted, victim, dirty)
+	}
+}
+
+func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	l := mustLevel(t, 32*config.KB, 8, 1)
+	// 256 lines = half the cache. Touch all, then re-touch: all hits.
+	for i := uint64(0); i < 256; i++ {
+		if !l.Access(i*64, false) {
+			l.Fill(i*64, false)
+		}
+	}
+	before := l.Stats.Misses
+	for pass := 0; pass < 3; pass++ {
+		for i := uint64(0); i < 256; i++ {
+			if !l.Access(i*64, false) {
+				l.Fill(i*64, false)
+			}
+		}
+	}
+	if l.Stats.Misses != before {
+		t.Fatalf("capacity misses on a fitting working set: %d new misses", l.Stats.Misses-before)
+	}
+}
+
+func TestWorkingSetExceedsLRUThrashes(t *testing.T) {
+	l := mustLevel(t, 32*config.KB, 8, 1)
+	// Cyclic sweep over 2x capacity with true LRU: every access misses.
+	lines := uint64(2 * 512)
+	for pass := 0; pass < 3; pass++ {
+		for i := uint64(0); i < lines; i++ {
+			if !l.Access(i*64, false) {
+				l.Fill(i*64, false)
+			}
+		}
+	}
+	// After warmup pass, passes 2-3 should be ~100% misses.
+	rate := l.Stats.MissRate()
+	if rate < 0.99 {
+		t.Fatalf("cyclic over-capacity sweep miss rate %.3f, want ~1.0", rate)
+	}
+}
+
+func TestProbeDoesNotDisturbState(t *testing.T) {
+	l := mustLevel(t, 256, 2, 1)
+	a, b, c := uint64(0), uint64(2*64), uint64(4*64)
+	l.Fill(a, false)
+	l.Fill(b, false)
+	accesses := l.Stats.Accesses
+	// Probing a must NOT refresh its LRU position.
+	if !l.Probe(a) {
+		t.Fatal("probe missed resident line")
+	}
+	if l.Probe(c) {
+		t.Fatal("probe hit absent line")
+	}
+	if l.Stats.Accesses != accesses {
+		t.Fatal("probe changed statistics")
+	}
+	victim, _, _ := l.Fill(c, false)
+	if victim != a {
+		t.Fatalf("probe refreshed LRU: victim %#x, want %#x", victim, a)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	l := mustLevel(t, 256, 2, 1)
+	l.Fill(0, false)
+	l.Access(0, true)
+	present, dirty := l.Invalidate(0)
+	if !present || !dirty {
+		t.Fatalf("invalidate = (%v,%v), want present dirty", present, dirty)
+	}
+	if l.Access(0, false) {
+		t.Fatal("invalidated line still hits")
+	}
+	present, _ = l.Invalidate(0)
+	if present {
+		t.Fatal("double invalidate reports present")
+	}
+}
+
+func TestLRUPropertyMostRecentSurvives(t *testing.T) {
+	// Property: after any access sequence, immediately re-accessing the last
+	// touched line always hits (the MRU line is never the victim).
+	l := mustLevel(t, 4*config.KB, 4, 1)
+	rng := xrand.New(77)
+	check := func(seqSeed uint16) bool {
+		for i := 0; i < 200; i++ {
+			addr := (rng.Uint64() % 4096) * 64
+			if !l.Access(addr, rng.Bool(0.3)) {
+				l.Fill(addr, false)
+			}
+			if !l.Access(addr, false) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	l := mustLevel(t, 256, 2, 1)
+	l.Access(0, false) // miss
+	l.Fill(0, false)
+	l.Access(0, false) // hit
+	l.Access(0, true)  // write hit
+	if l.Stats.Accesses != 3 || l.Stats.Misses != 1 || l.Stats.Writes != 1 {
+		t.Fatalf("stats %+v, want 3 accesses / 1 miss / 1 write", l.Stats)
+	}
+	if r := l.Stats.MissRate(); r < 0.33 || r > 0.34 {
+		t.Fatalf("miss rate %v, want 1/3", r)
+	}
+	var zero Stats
+	if zero.MissRate() != 0 {
+		t.Fatal("zero stats miss rate != 0")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Accesses: 1, Misses: 2, Writes: 3, Evictions: 4, Writebacks: 5}
+	b := Stats{Accesses: 10, Misses: 20, Writes: 30, Evictions: 40, Writebacks: 50}
+	a.Add(b)
+	want := Stats{11, 22, 33, 44, 55}
+	if a != want {
+		t.Fatalf("Add: %+v, want %+v", a, want)
+	}
+}
+
+func newNUCA(t *testing.T, slices int, slicePerCore config.Bytes, scale int) *NUCA {
+	t.Helper()
+	n, err := NewNUCA(config.LLCConfig{
+		Slices: slices, SlicePerCore: slicePerCore, Assoc: 64, LineSize: 64, AccessTime: 30,
+	}, scale, slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNUCASliceDistribution(t *testing.T) {
+	n := newNUCA(t, 8, config.MB, 8)
+	counts := make([]int, 8)
+	for i := uint64(0); i < 64000; i++ {
+		counts[n.SliceOf(i*64)]++
+	}
+	for s, c := range counts {
+		if c < 6000 || c > 10000 {
+			t.Errorf("slice %d received %d/64000 sequential lines; hash not balanced", s, c)
+		}
+	}
+}
+
+func TestNUCASliceStable(t *testing.T) {
+	n := newNUCA(t, 4, config.MB, 8)
+	for i := uint64(0); i < 1000; i++ {
+		addr := i * 977 * 64
+		if n.SliceOf(addr) != n.SliceOf(addr) || n.SliceOf(addr) != n.SliceOf(addr+63) {
+			t.Fatal("slice mapping unstable or not line-granular")
+		}
+	}
+}
+
+func TestNUCAPerCoreAttribution(t *testing.T) {
+	n := newNUCA(t, 2, config.MB, 8)
+	// Core 0 performs 100 accesses, core 1 none.
+	for i := uint64(0); i < 100; i++ {
+		addr := i * 64
+		if _, hit := n.Access(0, addr, false); !hit {
+			n.Fill(0, addr, false)
+		}
+	}
+	if got := n.CoreStats(0).Accesses; got != 100 {
+		t.Fatalf("core 0 accesses %d, want 100", got)
+	}
+	if got := n.CoreStats(1).Accesses; got != 0 {
+		t.Fatalf("core 1 accesses %d, want 0", got)
+	}
+	tot := n.TotalStats()
+	if tot.Accesses != 100 || tot.Misses != 100 {
+		t.Fatalf("total stats %+v, want 100 cold misses", tot)
+	}
+}
+
+func TestNUCACapacityContention(t *testing.T) {
+	// Two cores share a small LLC. Alone, core 0's working set fits; with
+	// core 1 streaming through it, core 0 starts missing. This is the
+	// emergent contention the whole methodology relies on.
+	missRate := func(withAggressor bool) float64 {
+		n := newNUCA(t, 2, 64*config.KB, 1) // 128 KB total
+		rng := xrand.New(5)
+		// Victim working set: 96 KB = 1536 lines, fits in 128 KB.
+		victimLines := uint64(1536)
+		var victimStats func() Stats
+		victimStats = func() Stats { return n.CoreStats(0) }
+		warm := func() {
+			for i := uint64(0); i < victimLines; i++ {
+				addr := i * 64
+				if _, hit := n.Access(0, addr, false); !hit {
+					n.Fill(0, addr, false)
+				}
+			}
+		}
+		warm()
+		base := victimStats()
+		for round := 0; round < 4; round++ {
+			if withAggressor {
+				for i := 0; i < 4096; i++ {
+					addr := uint64(1<<30) + rng.Uint64()%(1<<24)
+					addr &^= 63
+					if _, hit := n.Access(1, addr, false); !hit {
+						n.Fill(1, addr, false)
+					}
+				}
+			}
+			warm()
+		}
+		st := victimStats()
+		return float64(st.Misses-base.Misses) / float64(st.Accesses-base.Accesses)
+	}
+	alone := missRate(false)
+	shared := missRate(true)
+	if alone > 0.02 {
+		t.Fatalf("victim misses %.3f alone; working set should fit", alone)
+	}
+	if shared < 5*alone+0.05 {
+		t.Fatalf("victim miss rate alone %.3f vs shared %.3f; no emergent contention", alone, shared)
+	}
+}
+
+func TestNUCAFillEvictsWithinSlice(t *testing.T) {
+	n := newNUCA(t, 2, 64*config.KB, 8) // tiny slices: 8 KB each
+	// Stream enough lines to force evictions.
+	for i := uint64(0); i < 4096; i++ {
+		addr := i * 64
+		if _, hit := n.Access(0, addr, false); !hit {
+			n.Fill(0, addr, true)
+		}
+	}
+	tot := n.TotalStats()
+	if tot.Evictions == 0 {
+		t.Fatal("no evictions after streaming 4x capacity")
+	}
+	if n.CoreStats(0).Writebacks == 0 {
+		t.Fatal("no writebacks despite dirty fills")
+	}
+}
+
+func TestNewNUCAErrors(t *testing.T) {
+	if _, err := NewNUCA(config.LLCConfig{Slices: 0}, 1, 1); err == nil {
+		t.Error("zero slices accepted")
+	}
+	if _, err := NewNUCA(config.LLCConfig{Slices: 1, SlicePerCore: 0, Assoc: 16, LineSize: 64}, 1, 1); err == nil {
+		t.Error("zero slice size accepted")
+	}
+}
+
+func BenchmarkLevelAccessHit(b *testing.B) {
+	l, _ := NewLevel(config.CacheLevelConfig{Size: 32 * config.KB, Assoc: 8, LineSize: 64}, 1)
+	l.Fill(0, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Access(0, false)
+	}
+}
+
+func BenchmarkNUCAAccess(b *testing.B) {
+	n, _ := NewNUCA(config.LLCConfig{Slices: 32, SlicePerCore: config.MB, Assoc: 64, LineSize: 64}, 8, 32)
+	rng := xrand.New(1)
+	addrs := make([]uint64, 1024)
+	for i := range addrs {
+		addrs[i] = rng.Uint64() &^ 63
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := addrs[i%1024]
+		if _, hit := n.Access(i%32, a, false); !hit {
+			n.Fill(i%32, a, false)
+		}
+	}
+}

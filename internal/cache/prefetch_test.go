@@ -1,0 +1,89 @@
+package cache
+
+import (
+	"testing"
+
+	"scalesim/internal/xrand"
+)
+
+func TestPrefetcherLearnsUnitStride(t *testing.T) {
+	p := NewStridePrefetcher(64)
+	var issued []uint64
+	for i := uint64(0); i < 20; i++ {
+		issued = p.OnMiss(i * 64)
+	}
+	if len(issued) == 0 {
+		t.Fatal("no prefetches after 20 unit-stride misses")
+	}
+	// Next-line prefetches: addresses ahead of the stream.
+	want := uint64(20 * 64)
+	if issued[0] != want {
+		t.Fatalf("first prefetch %#x, want %#x", issued[0], want)
+	}
+	if p.Accuracy() <= 0 {
+		t.Fatal("accuracy not tracked")
+	}
+}
+
+func TestPrefetcherLearnsLargeStride(t *testing.T) {
+	p := NewStridePrefetcher(64)
+	var issued []uint64
+	for i := uint64(0); i < 20; i++ {
+		issued = p.OnMiss(i * 4 * 64) // stride of 4 lines
+	}
+	if len(issued) == 0 {
+		t.Fatal("no prefetches on strided stream")
+	}
+	if issued[0] != 20*4*64 {
+		t.Fatalf("prefetch %#x, want %#x", issued[0], uint64(20*4*64))
+	}
+}
+
+func TestPrefetcherIgnoresRandom(t *testing.T) {
+	p := NewStridePrefetcher(64)
+	rng := xrand.New(5)
+	issued := 0
+	for i := 0; i < 5000; i++ {
+		// Uniform misses over 1 GB: no stable stride.
+		if out := p.OnMiss(rng.Uint64() % (1 << 30) &^ 63); len(out) > 0 {
+			issued += len(out)
+		}
+	}
+	// Spurious matches can happen but must stay rare.
+	if frac := float64(issued) / 5000; frac > 0.05 {
+		t.Fatalf("%.3f prefetches per random miss, want ~0", frac)
+	}
+}
+
+func TestPrefetcherTracksMultipleStreams(t *testing.T) {
+	p := NewStridePrefetcher(64)
+	okA, okB := false, false
+	for i := uint64(0); i < 30; i++ {
+		if out := p.OnMiss(i * 64); len(out) > 0 {
+			okA = true
+		}
+		if out := p.OnMiss(1<<30 + i*2*64); len(out) > 0 {
+			okB = true
+		}
+	}
+	if !okA || !okB {
+		t.Fatalf("interleaved streams not both detected: A=%v B=%v", okA, okB)
+	}
+}
+
+func TestPrefetcherStrideChangeRetrains(t *testing.T) {
+	p := NewStridePrefetcher(64)
+	for i := uint64(0); i < 10; i++ {
+		p.OnMiss(i * 64)
+	}
+	// Change stride: confidence must drop before new prefetches appear.
+	base := uint64(9 * 64)
+	out := p.OnMiss(base + 3*64)
+	if len(out) != 0 {
+		t.Fatal("prefetch issued immediately after stride change")
+	}
+	out = p.OnMiss(base + 6*64)
+	if len(out) == 0 {
+		t.Fatal("prefetcher did not re-train on the new stride")
+	}
+}

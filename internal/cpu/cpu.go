@@ -1,0 +1,245 @@
+// Package cpu implements the out-of-order core timing model. It follows the
+// mechanistic interval-model tradition (Karkhanis & Smith; Genbrugge,
+// Eyerman & Eeckhout's interval simulation; Carlson et al.'s Sniper core
+// models): in the absence of miss events a balanced superscalar core
+// sustains its ILP-limited throughput, and miss events insert penalties —
+// fully exposed for branch mispredictions and front-end misses, partially
+// hidden and MLP-amortised for long-latency loads.
+//
+// The core consumes a trace.Generator's instruction stream, drives a real
+// branch predictor, and resolves memory operations through a MemSystem
+// (implemented by internal/sim on top of the cache/NoC/DRAM substrates).
+package cpu
+
+import (
+	"fmt"
+
+	"scalesim/internal/branch"
+	"scalesim/internal/config"
+	"scalesim/internal/trace"
+)
+
+// MemLevel identifies where a memory access was served.
+type MemLevel uint8
+
+// Memory hierarchy levels.
+const (
+	LevelL1 MemLevel = iota + 1
+	LevelL2
+	LevelLLC
+	LevelDRAM
+)
+
+func (l MemLevel) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelLLC:
+		return "LLC"
+	case LevelDRAM:
+		return "DRAM"
+	default:
+		return fmt.Sprintf("MemLevel(%d)", uint8(l))
+	}
+}
+
+// MemResult describes a resolved data access.
+type MemResult struct {
+	// Latency is the full load-to-use latency in cycles, including NoC and
+	// DRAM queuing components.
+	Latency float64
+	// Level is the hierarchy level that served the access.
+	Level MemLevel
+}
+
+// MemSystem resolves a core's memory traffic against the shared memory
+// hierarchy. Implementations account bandwidth and contention.
+type MemSystem interface {
+	// Load resolves a data read by core at addr.
+	Load(core int, addr uint64) MemResult
+	// Store resolves a data write by core at addr. Stores are posted (the
+	// result is used only for store-buffer pressure modelling).
+	Store(core int, addr uint64) MemResult
+	// IFetch resolves an instruction fetch of the line at addr, returning
+	// the front-end stall in cycles. Sequential fetches (jump=false) are
+	// next-line-prefetchable: they warm the caches but never stall.
+	IFetch(core int, addr uint64, jump bool) float64
+}
+
+// Stats aggregates a core's execution counters.
+type Stats struct {
+	Instructions uint64
+	Cycles       float64
+	Loads        uint64
+	Stores       uint64
+	LoadsAt      [5]uint64 // indexed by MemLevel
+	Branch       branch.Stats
+	// Stall cycle decomposition (approximate, for reporting).
+	BaseCycles     float64
+	BranchCycles   float64
+	MemoryCycles   float64
+	FrontendCycles float64
+}
+
+// IPC returns retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / s.Cycles
+}
+
+// Core is one out-of-order core executing one benchmark instance.
+type Core struct {
+	id   int
+	cfg  config.CoreConfig
+	gen  *trace.Generator
+	pred branch.Predictor
+	mem  MemSystem
+
+	// Derived timing parameters.
+	baseCPI    float64 // max(profile ILP limit, dispatch width limit)
+	hideCycles float64 // latency the OoO window hides per isolated miss
+	effMLP     float64 // overlap factor for independent misses
+
+	// Fetch pacing: one I-fetch per fetchGroup instructions.
+	fetchGroup  int
+	sinceIFetch int
+
+	Stats Stats
+}
+
+// instrBytes is the nominal x86 instruction footprint used to pace I-side
+// line fetches (64-byte line / 4 bytes per instruction = 16 instructions).
+const instrBytes = 4
+
+// New builds a core with the given id executing gen on mem with predictor
+// pred under the machine's core configuration.
+func New(id int, cfg config.CoreConfig, gen *trace.Generator, pred branch.Predictor, mem MemSystem) (*Core, error) {
+	if gen == nil || pred == nil || mem == nil {
+		return nil, fmt.Errorf("cpu: nil generator, predictor or memory system")
+	}
+	if cfg.IssueWidth < 1 || cfg.ROBSize < cfg.IssueWidth {
+		return nil, fmt.Errorf("cpu: invalid core config %+v", cfg)
+	}
+	prof := gen.Profile()
+	baseCPI := prof.BaseCPI
+	if min := 1 / float64(cfg.IssueWidth); baseCPI < min {
+		baseCPI = min
+	}
+	// The reorder window hides roughly the time to drain half the ROB at
+	// the base dispatch rate: shorter-latency events (L2 hits and part of an
+	// LLC hit) disappear under out-of-order execution.
+	hide := float64(cfg.ROBSize) / 2 / float64(cfg.IssueWidth)
+	// Independent misses overlap up to the profile's inherent MLP, bounded
+	// by the L1-D MSHRs.
+	mlp := prof.MLP
+	if m := float64(cfg.MaxL1DMisses); mlp > m {
+		mlp = m
+	}
+	if mlp < 1 {
+		mlp = 1
+	}
+	lineInstr := 64 / instrBytes
+	return &Core{
+		id:         id,
+		cfg:        cfg,
+		gen:        gen,
+		pred:       pred,
+		mem:        mem,
+		baseCPI:    baseCPI,
+		hideCycles: hide,
+		effMLP:     mlp,
+		fetchGroup: lineInstr,
+	}, nil
+}
+
+// ID returns the core's id.
+func (c *Core) ID() int { return c.id }
+
+// Generator returns the trace generator driving this core.
+func (c *Core) Generator() *trace.Generator { return c.gen }
+
+// Run executes until cycleBudget cycles are consumed or instrBudget total
+// retired instructions are reached, returning the cycles actually consumed
+// in this call. Run can be invoked repeatedly (epoch by epoch).
+func (c *Core) Run(cycleBudget float64, instrBudget uint64) float64 {
+	start := c.Stats.Cycles
+	for c.Stats.Cycles-start < cycleBudget && c.Stats.Instructions < instrBudget {
+		c.step()
+	}
+	return c.Stats.Cycles - start
+}
+
+// step retires one instruction and charges its cycles.
+func (c *Core) step() {
+	// Front-end: fetch a new instruction line every fetchGroup instructions.
+	c.sinceIFetch++
+	if c.sinceIFetch >= c.fetchGroup {
+		c.sinceIFetch = 0
+		addr, jump := c.gen.NextIFetch()
+		stall := c.mem.IFetch(c.id, addr, jump)
+		if stall > 0 {
+			c.Stats.Cycles += stall
+			c.Stats.FrontendCycles += stall
+		}
+	}
+
+	op := c.gen.Next()
+	c.Stats.Instructions++
+	c.Stats.Cycles += c.baseCPI
+	c.Stats.BaseCycles += c.baseCPI
+
+	switch op.Kind {
+	case trace.OpBranch:
+		if c.Stats.Branch.Record(c.pred, op.BranchPC, op.Taken) {
+			cost := float64(c.cfg.MispredictCost)
+			c.Stats.Cycles += cost
+			c.Stats.BranchCycles += cost
+		}
+	case trace.OpLoad:
+		c.Stats.Loads++
+		res := c.mem.Load(c.id, op.Addr)
+		c.Stats.LoadsAt[res.Level]++
+		if res.Level == LevelL1 {
+			return // L1 hits are part of the base CPI
+		}
+		visible := res.Latency - c.hideCycles
+		if visible <= 0 {
+			return
+		}
+		if !op.Dependent {
+			visible /= c.effMLP
+		}
+		c.Stats.Cycles += visible
+		c.Stats.MemoryCycles += visible
+	case trace.OpStore:
+		c.Stats.Stores++
+		res := c.mem.Store(c.id, op.Addr)
+		if res.Level == LevelL1 {
+			return
+		}
+		// Stores are posted through the store buffer; they only throttle
+		// the core when deep misses back up. Charge a small, buffered
+		// fraction of the visible latency.
+		visible := res.Latency - c.hideCycles
+		if visible <= 0 {
+			return
+		}
+		visible /= 2 * c.effMLP
+		c.Stats.Cycles += visible
+		c.Stats.MemoryCycles += visible
+	}
+}
+
+// Done reports whether the core has retired at least budget instructions.
+func (c *Core) Done(budget uint64) bool { return c.Stats.Instructions >= budget }
+
+// ResetStats zeroes the statistics (used at the warmup/measurement
+// boundary) while preserving all microarchitectural state: caches stay
+// warm, predictors stay trained, the generator keeps its position.
+func (c *Core) ResetStats() {
+	c.Stats = Stats{}
+}

@@ -1,0 +1,101 @@
+// Package metrics implements the paper's evaluation metrics: the absolute
+// relative IPC prediction error (§V), system throughput (STP, the
+// normalised-IPC sum of Eyerman & Eeckhout's multiprogram metrics, §V-C),
+// and small summary helpers used by every experiment report.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PredictionError returns the paper's error metric:
+// |predicted - actual| / actual. It returns NaN when actual is zero.
+func PredictionError(predicted, actual float64) float64 {
+	if actual == 0 {
+		return math.NaN()
+	}
+	return math.Abs(predicted-actual) / math.Abs(actual)
+}
+
+// Summary aggregates a set of absolute prediction errors.
+type Summary struct {
+	Mean float64
+	Max  float64
+	N    int
+}
+
+// Summarize computes mean and max of errs, skipping NaNs.
+func Summarize(errs []float64) Summary {
+	var s Summary
+	sum := 0.0
+	for _, e := range errs {
+		if math.IsNaN(e) {
+			continue
+		}
+		sum += e
+		if e > s.Max {
+			s.Max = e
+		}
+		s.N++
+	}
+	if s.N > 0 {
+		s.Mean = sum / float64(s.N)
+	}
+	return s
+}
+
+// String renders the summary as the paper reports them.
+func (s Summary) String() string {
+	return fmt.Sprintf("avg %.1f%% (max %.1f%%, n=%d)", 100*s.Mean, 100*s.Max, s.N)
+}
+
+// STP computes system throughput for one multiprogram mix: the sum over
+// applications of IPC on the target system normalised by the application's
+// single-core scale-model IPC (the paper's normalisation baseline in §V-C).
+// Applications with a non-positive baseline are skipped.
+func STP(targetIPC, baselineIPC []float64) (float64, error) {
+	if len(targetIPC) != len(baselineIPC) {
+		return 0, fmt.Errorf("metrics: %d target IPCs but %d baselines", len(targetIPC), len(baselineIPC))
+	}
+	stp := 0.0
+	for i := range targetIPC {
+		if baselineIPC[i] <= 0 {
+			return 0, fmt.Errorf("metrics: non-positive baseline IPC %v at %d", baselineIPC[i], i)
+		}
+		stp += targetIPC[i] / baselineIPC[i]
+	}
+	return stp, nil
+}
+
+// Sorted returns a copy of errs sorted ascending (used for Fig. 6's sorted
+// error curves), NaNs removed.
+func Sorted(errs []float64) []float64 {
+	out := make([]float64, 0, len(errs))
+	for _, e := range errs {
+		if !math.IsNaN(e) {
+			out = append(out, e)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// NamedError pairs a benchmark with its prediction error, for per-benchmark
+// figures sorted by a key (e.g. LLC MPKI in Fig. 3).
+type NamedError struct {
+	Name  string
+	Key   float64 // sort key (e.g. MPKI)
+	Error float64
+}
+
+// SortByKey sorts named errors by ascending key (stable on name ties).
+func SortByKey(es []NamedError) {
+	sort.SliceStable(es, func(i, j int) bool {
+		if es[i].Key != es[j].Key {
+			return es[i].Key < es[j].Key
+		}
+		return es[i].Name < es[j].Name
+	})
+}

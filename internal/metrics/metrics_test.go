@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPredictionError(t *testing.T) {
+	if e := PredictionError(1.2, 1.0); math.Abs(e-0.2) > 1e-12 {
+		t.Fatalf("error = %v, want 0.2", e)
+	}
+	if e := PredictionError(0.8, 1.0); math.Abs(e-0.2) > 1e-12 {
+		t.Fatalf("under-prediction error = %v, want 0.2", e)
+	}
+	if e := PredictionError(-0.5, -1.0); math.Abs(e-0.5) > 1e-12 {
+		t.Fatalf("negative actual error = %v, want 0.5", e)
+	}
+	if !math.IsNaN(PredictionError(1, 0)) {
+		t.Fatal("zero actual should give NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{0.1, 0.3, math.NaN(), 0.2})
+	if s.N != 3 {
+		t.Fatalf("N = %d, want 3 (NaN skipped)", s.N)
+	}
+	if math.Abs(s.Mean-0.2) > 1e-12 || s.Max != 0.3 {
+		t.Fatalf("summary %+v, want mean 0.2 max 0.3", s)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 || empty.Max != 0 {
+		t.Fatalf("empty summary %+v", empty)
+	}
+	if !strings.Contains(s.String(), "20.0%") || !strings.Contains(s.String(), "30.0%") {
+		t.Fatalf("summary string %q", s.String())
+	}
+}
+
+func TestSTP(t *testing.T) {
+	// Two apps at half their isolated speed: STP = 1.0 (out of 2).
+	stp, err := STP([]float64{0.5, 1.0}, []float64{1.0, 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stp-1.0) > 1e-12 {
+		t.Fatalf("STP = %v, want 1.0", stp)
+	}
+	if _, err := STP([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := STP([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("zero baseline accepted")
+	}
+}
+
+func TestSorted(t *testing.T) {
+	got := Sorted([]float64{0.3, math.NaN(), 0.1, 0.2})
+	want := []float64{0.1, 0.2, 0.3}
+	if len(got) != len(want) {
+		t.Fatalf("len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSortByKey(t *testing.T) {
+	es := []NamedError{
+		{Name: "b", Key: 2, Error: 0.2},
+		{Name: "a", Key: 2, Error: 0.1},
+		{Name: "c", Key: 1, Error: 0.3},
+	}
+	SortByKey(es)
+	if es[0].Name != "c" || es[1].Name != "a" || es[2].Name != "b" {
+		t.Fatalf("sorted order %v", es)
+	}
+}

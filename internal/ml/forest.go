@@ -1,0 +1,94 @@
+package ml
+
+import (
+	"fmt"
+
+	"scalesim/internal/xrand"
+)
+
+// RandomForest is a bagged ensemble of CART trees with the two levels of
+// randomisation the paper describes (§III-B1): each tree is trained on a
+// bootstrap resample of the training set, and each tree restricts its split
+// search to a random subset of the input features.
+type RandomForest struct {
+	// Trees is the ensemble size (0 = default 100, scikit-learn's default).
+	Trees int
+	// MaxDepth bounds each tree (0 = default 12).
+	MaxDepth int
+	// MinLeaf is each tree's minimum leaf size (0 = default 2).
+	MinLeaf int
+	// MaxFeatures restricts each tree's split search to a random feature
+	// subset of this size (0 or >= d = all features, scikit-learn's
+	// regression default).
+	MaxFeatures int
+	// Seed drives the bootstrap and feature sampling. The zero seed is
+	// valid and deterministic.
+	Seed uint64
+
+	ensemble []*DecisionTree
+	d        int
+}
+
+// Name implements Regressor.
+func (f *RandomForest) Name() string { return "RF" }
+
+// Fit implements Regressor.
+func (f *RandomForest) Fit(X [][]float64, y []float64) error {
+	n, d, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	trees := f.Trees
+	if trees <= 0 {
+		trees = 100
+	}
+	f.d = d
+	f.ensemble = make([]*DecisionTree, 0, trees)
+	rng := xrand.New(f.Seed ^ 0x5eedf04e57)
+
+	// Feature subset size: like scikit-learn's RandomForestRegressor
+	// (max_features=1.0) every tree may split on all features by default —
+	// with only three inputs, dropping one per tree cripples the ensemble.
+	// MaxFeatures < d enables random-subspace mode.
+	sub := f.MaxFeatures
+	if sub <= 0 || sub > d {
+		sub = d
+	}
+
+	bx := make([][]float64, n)
+	by := make([]float64, n)
+	for t := 0; t < trees; t++ {
+		// Bootstrap resample (with replacement).
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i] = X[j]
+			by[i] = y[j]
+		}
+		perm := rng.Perm(d)
+		tree := &DecisionTree{
+			MaxDepth:   f.MaxDepth,
+			MinLeaf:    f.MinLeaf,
+			featureIdx: append([]int(nil), perm[:sub]...),
+		}
+		if err := tree.Fit(bx, by); err != nil {
+			return fmt.Errorf("ml: forest tree %d: %w", t, err)
+		}
+		f.ensemble = append(f.ensemble, tree)
+	}
+	return nil
+}
+
+// Predict implements Regressor: the ensemble mean.
+func (f *RandomForest) Predict(x []float64) float64 {
+	if len(f.ensemble) == 0 {
+		panic("ml: RandomForest.Predict before Fit")
+	}
+	sum := 0.0
+	for _, t := range f.ensemble {
+		sum += t.Predict(x)
+	}
+	return sum / float64(len(f.ensemble))
+}
+
+// Size returns the number of fitted trees.
+func (f *RandomForest) Size() int { return len(f.ensemble) }

@@ -1,0 +1,400 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"scalesim/internal/xrand"
+)
+
+// synth generates a noisy nonlinear regression problem resembling the
+// extrapolation task: y = f(IPC, BW, sumBW) with interaction terms.
+func synth(n int, seed uint64) (X [][]float64, y []float64) {
+	rng := xrand.New(seed)
+	for i := 0; i < n; i++ {
+		ipc := 0.1 + 1.9*rng.Float64()
+		bw := rng.Float64()
+		co := 3 * rng.Float64()
+		target := ipc / (1 + 0.8*bw*co) * (1 - 0.1*math.Tanh(co-1.5))
+		X = append(X, []float64{ipc, bw, co})
+		y = append(y, target+0.01*rng.NormFloat64())
+	}
+	return X, y
+}
+
+func regressors() []Regressor {
+	return []Regressor{
+		&DecisionTree{},
+		&RandomForest{Trees: 50},
+		&SVR{},
+	}
+}
+
+func TestValidateRejectsBadInput(t *testing.T) {
+	for _, r := range regressors() {
+		if err := r.Fit(nil, nil); err == nil {
+			t.Errorf("%s: empty training set accepted", r.Name())
+		}
+		if err := r.Fit([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+			t.Errorf("%s: mismatched lengths accepted", r.Name())
+		}
+		if err := r.Fit([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+			t.Errorf("%s: ragged rows accepted", r.Name())
+		}
+		if err := r.Fit([][]float64{{math.NaN()}}, []float64{1}); err == nil {
+			t.Errorf("%s: NaN feature accepted", r.Name())
+		}
+		if err := r.Fit([][]float64{{1}}, []float64{math.Inf(1)}); err == nil {
+			t.Errorf("%s: Inf target accepted", r.Name())
+		}
+	}
+}
+
+func TestPredictBeforeFitPanics(t *testing.T) {
+	for _, r := range regressors() {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Predict before Fit did not panic", r.Name())
+				}
+			}()
+			r.Predict([]float64{1, 2, 3})
+		}()
+	}
+}
+
+func TestFitsTrainingData(t *testing.T) {
+	X, y := synth(120, 3)
+	for _, r := range regressors() {
+		if err := r.Fit(X, y); err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		pred := make([]float64, len(y))
+		for i := range X {
+			pred[i] = r.Predict(X[i])
+		}
+		if mape := MAPE(pred, y); mape > 0.15 {
+			t.Errorf("%s: training MAPE %.3f, want <= 0.15", r.Name(), mape)
+		}
+	}
+}
+
+func TestGeneralisation(t *testing.T) {
+	Xtr, ytr := synth(200, 5)
+	Xte, yte := synth(60, 99)
+	for _, r := range regressors() {
+		if err := r.Fit(Xtr, ytr); err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		pred := make([]float64, len(yte))
+		for i := range Xte {
+			pred[i] = r.Predict(Xte[i])
+		}
+		if mape := MAPE(pred, yte); mape > 0.25 {
+			t.Errorf("%s: test MAPE %.3f, want <= 0.25", r.Name(), mape)
+		}
+	}
+}
+
+func TestSmallTrainingSet(t *testing.T) {
+	// The homogeneous protocol trains on only 28 points; estimators must
+	// remain usable there.
+	X, y := synth(28, 7)
+	Xte, yte := synth(20, 123)
+	for _, r := range regressors() {
+		if err := r.Fit(X, y); err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		pred := make([]float64, len(yte))
+		for i := range Xte {
+			pred[i] = r.Predict(Xte[i])
+		}
+		if mape := MAPE(pred, yte); mape > 0.5 {
+			t.Errorf("%s: 28-sample test MAPE %.3f, want <= 0.5", r.Name(), mape)
+		}
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	X, _ := synth(40, 9)
+	y := make([]float64, len(X))
+	for i := range y {
+		y[i] = 0.7
+	}
+	for _, r := range regressors() {
+		if err := r.Fit(X, y); err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if p := r.Predict(X[3]); math.Abs(p-0.7) > 1e-6 {
+			t.Errorf("%s: constant-target prediction %.4f, want 0.7", r.Name(), p)
+		}
+	}
+}
+
+func TestDeterministicFit(t *testing.T) {
+	X, y := synth(100, 11)
+	probe := []float64{1.0, 0.5, 1.5}
+	for _, mk := range []func() Regressor{
+		func() Regressor { return &DecisionTree{} },
+		func() Regressor { return &RandomForest{Trees: 30, Seed: 4} },
+		func() Regressor { return &SVR{} },
+	} {
+		a, b := mk(), mk()
+		if err := a.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		if a.Predict(probe) != b.Predict(probe) {
+			t.Errorf("%s: refit changed prediction", a.Name())
+		}
+	}
+}
+
+func TestTreeStructure(t *testing.T) {
+	X, y := synth(200, 13)
+	tr := &DecisionTree{MaxDepth: 4, MinLeaf: 5}
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Depth(); d > 4 {
+		t.Errorf("depth %d exceeds MaxDepth 4", d)
+	}
+	if l := tr.Leaves(); l < 2 || l > 16 {
+		t.Errorf("leaves %d outside [2, 16] for depth-4 tree", l)
+	}
+}
+
+func TestTreeStepFunction(t *testing.T) {
+	// A tree should represent an axis-aligned step exactly.
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		v := float64(i) / 50
+		X = append(X, []float64{v})
+		if v < 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 2)
+		}
+	}
+	tr := &DecisionTree{}
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if p := tr.Predict([]float64{0.2}); p != 1 {
+		t.Errorf("step low side = %v, want 1", p)
+	}
+	if p := tr.Predict([]float64{0.8}); p != 2 {
+		t.Errorf("step high side = %v, want 2", p)
+	}
+}
+
+func TestForestSmoothsTree(t *testing.T) {
+	// On noisy data, the forest's test error should not exceed a single
+	// unpruned tree's by much; typically it is lower.
+	Xtr, ytr := synth(150, 17)
+	Xte, yte := synth(80, 171)
+	tree := &DecisionTree{}
+	forest := &RandomForest{Trees: 80, Seed: 2}
+	if err := tree.Fit(Xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	if err := forest.Fit(Xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	mape := func(r Regressor) float64 {
+		pred := make([]float64, len(yte))
+		for i := range Xte {
+			pred[i] = r.Predict(Xte[i])
+		}
+		return MAPE(pred, yte)
+	}
+	tm, fm := mape(tree), mape(forest)
+	if fm > tm*1.2 {
+		t.Errorf("forest MAPE %.3f much worse than tree MAPE %.3f", fm, tm)
+	}
+	if forest.Size() != 80 {
+		t.Errorf("forest size %d, want 80", forest.Size())
+	}
+}
+
+func TestSVRSmoothNonlinearFit(t *testing.T) {
+	// SVR with RBF must fit a smooth nonlinearity better than a linear
+	// baseline would: check it tracks y = sin shape.
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 60; i++ {
+		v := float64(i) / 60 * 3
+		X = append(X, []float64{v})
+		y = append(y, math.Sin(v))
+	}
+	s := &SVR{Epsilon: 0.01}
+	if err := s.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for i := range X {
+		if e := math.Abs(s.Predict(X[i]) - y[i]); e > worst {
+			worst = e
+		}
+	}
+	if worst > 0.15 {
+		t.Errorf("SVR worst-case error %.3f on sin fit, want <= 0.15", worst)
+	}
+}
+
+func TestScaler(t *testing.T) {
+	X := [][]float64{{1, 10}, {3, 10}, {5, 10}}
+	s, err := FitScaler(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean[0] != 3 || s.Mean[1] != 10 {
+		t.Fatalf("means %v, want [3 10]", s.Mean)
+	}
+	out := s.TransformAll(X)
+	// Column 0: mean 0, unit variance; column 1 constant -> all zeros.
+	sum := 0.0
+	for _, r := range out {
+		sum += r[0]
+		if r[1] != 0 {
+			t.Fatalf("constant column not centred: %v", r[1])
+		}
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Fatalf("scaled column mean %v != 0", sum)
+	}
+	if _, err := FitScaler(nil); err == nil {
+		t.Fatal("empty scaler input accepted")
+	}
+}
+
+func TestScalerRoundTripProperty(t *testing.T) {
+	rng := xrand.New(23)
+	X, _ := synth(50, 29)
+	s, err := FitScaler(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Property: transform is affine and invertible for non-constant cols.
+	check := func(i uint8) bool {
+		row := X[int(i)%len(X)]
+		tr := s.Transform(row)
+		for j := range tr {
+			back := tr[j]*s.Scale[j] + s.Mean[j]
+			if math.Abs(back-row[j]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	_ = rng
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	act := []float64{1, 1, 4}
+	if got := MAE(pred, act); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("MAE = %v, want 2/3", got)
+	}
+	wantMAPE := (0 + 1.0 + 1.0/4) / 3
+	if got := MAPE(pred, act); math.Abs(got-wantMAPE) > 1e-12 {
+		t.Errorf("MAPE = %v, want %v", got, wantMAPE)
+	}
+	if !math.IsNaN(MAPE([]float64{1}, []float64{0})) {
+		t.Error("MAPE with zero actual should be NaN")
+	}
+	if !math.IsNaN(MAE(nil, nil)) {
+		t.Error("MAE of empty slices should be NaN")
+	}
+}
+
+func BenchmarkSVRFit(b *testing.B) {
+	X, y := synth(320, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &SVR{}
+		if err := s.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestFit(b *testing.B) {
+	X, y := synth(320, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := &RandomForest{Trees: 100}
+		if err := f.Fit(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestTunedSVRSelectsAndFits(t *testing.T) {
+	X, y := synth(150, 31)
+	m := &TunedSVR{}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if m.BestC == 0 || m.BestGam == 0 {
+		t.Fatalf("no hyperparameters selected: C=%v gamma=%v", m.BestC, m.BestGam)
+	}
+	pred := make([]float64, len(y))
+	for i := range X {
+		pred[i] = m.Predict(X[i])
+	}
+	if mape := MAPE(pred, y); mape > 0.15 {
+		t.Fatalf("tuned SVR training MAPE %.3f", mape)
+	}
+}
+
+func TestTunedSVRDeterministic(t *testing.T) {
+	X, y := synth(80, 33)
+	a, b := &TunedSVR{}, &TunedSVR{}
+	if err := a.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if a.BestC != b.BestC || a.BestGam != b.BestGam {
+		t.Fatal("tuned SVR selection not deterministic")
+	}
+	probe := []float64{1, 0.5, 1.5}
+	if a.Predict(probe) != b.Predict(probe) {
+		t.Fatal("tuned SVR prediction not deterministic")
+	}
+}
+
+func TestTunedSVRTinyTrainingSet(t *testing.T) {
+	// Degenerate case: folds exceed samples.
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{1, 2, 3}
+	m := &TunedSVR{Folds: 10}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Predict([]float64{2}); math.IsNaN(p) {
+		t.Fatal("NaN prediction")
+	}
+}
+
+func TestTunedSVRRejectsBadInput(t *testing.T) {
+	m := &TunedSVR{}
+	if err := m.Fit(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Predict before Fit did not panic")
+		}
+	}()
+	(&TunedSVR{}).Predict([]float64{1})
+}

@@ -1,0 +1,205 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DecisionTree is a CART regression tree: binary splits chosen by maximum
+// variance reduction (the regression analogue of the information-gain
+// criterion the paper cites), grown depth-first until MaxDepth or MinLeaf is
+// reached.
+type DecisionTree struct {
+	// MaxDepth bounds the tree depth (0 = default 12).
+	MaxDepth int
+	// MinLeaf is the minimum number of samples in a leaf (0 = default 2).
+	MinLeaf int
+
+	root *treeNode
+	d    int
+
+	// featureIdx optionally restricts split search to a subset of features
+	// (used by the random forest). nil = all features.
+	featureIdx []int
+}
+
+type treeNode struct {
+	feature int
+	thresh  float64
+	left    *treeNode
+	right   *treeNode
+	value   float64 // leaf prediction
+	leaf    bool
+}
+
+// Name implements Regressor.
+func (t *DecisionTree) Name() string { return "DT" }
+
+func (t *DecisionTree) defaults() (maxDepth, minLeaf int) {
+	maxDepth = t.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 12
+	}
+	minLeaf = t.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+	return maxDepth, minLeaf
+}
+
+// Fit implements Regressor.
+func (t *DecisionTree) Fit(X [][]float64, y []float64) error {
+	n, d, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	t.d = d
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	maxDepth, minLeaf := t.defaults()
+	t.root = t.build(X, y, idx, 0, maxDepth, minLeaf)
+	return nil
+}
+
+// build grows the subtree over the sample indices idx.
+func (t *DecisionTree) build(X [][]float64, y []float64, idx []int, depth, maxDepth, minLeaf int) *treeNode {
+	leafValue := func() *treeNode {
+		sum := 0.0
+		for _, i := range idx {
+			sum += y[i]
+		}
+		return &treeNode{leaf: true, value: sum / float64(len(idx))}
+	}
+	if depth >= maxDepth || len(idx) < 2*minLeaf {
+		return leafValue()
+	}
+	feature, thresh, ok := t.bestSplit(X, y, idx, minLeaf)
+	if !ok {
+		return leafValue()
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feature] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < minLeaf || len(right) < minLeaf {
+		return leafValue()
+	}
+	return &treeNode{
+		feature: feature,
+		thresh:  thresh,
+		left:    t.build(X, y, left, depth+1, maxDepth, minLeaf),
+		right:   t.build(X, y, right, depth+1, maxDepth, minLeaf),
+	}
+}
+
+// bestSplit finds the (feature, threshold) pair with the greatest variance
+// reduction, scanning candidate thresholds at midpoints between consecutive
+// sorted feature values.
+func (t *DecisionTree) bestSplit(X [][]float64, y []float64, idx []int, minLeaf int) (feature int, thresh float64, ok bool) {
+	n := len(idx)
+	features := t.featureIdx
+	if features == nil {
+		features = make([]int, t.d)
+		for j := range features {
+			features[j] = j
+		}
+	}
+
+	// Total sum of squares; a split must reduce it to be accepted.
+	var total, totalSq float64
+	for _, i := range idx {
+		total += y[i]
+		totalSq += y[i] * y[i]
+	}
+	bestGain := 1e-12
+
+	order := make([]int, n)
+	for _, f := range features {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+
+		var leftSum, leftSq float64
+		for k := 0; k < n-1; k++ {
+			i := order[k]
+			leftSum += y[i]
+			leftSq += y[i] * y[i]
+			nl := k + 1
+			nr := n - nl
+			if nl < minLeaf || nr < minLeaf {
+				continue
+			}
+			if X[order[k]][f] == X[order[k+1]][f] {
+				continue // cannot split between equal values
+			}
+			rightSum := total - leftSum
+			rightSq := totalSq - leftSq
+			// SSE reduction = totalSSE - (leftSSE + rightSSE); comparing
+			// -(sum^2/n) terms suffices since the squared terms cancel.
+			gain := leftSum*leftSum/float64(nl) + rightSum*rightSum/float64(nr) - total*total/float64(n)
+			_ = rightSq
+			if gain > bestGain {
+				bestGain = gain
+				feature = f
+				thresh = (X[order[k]][f] + X[order[k+1]][f]) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, thresh, ok
+}
+
+// Predict implements Regressor.
+func (t *DecisionTree) Predict(x []float64) float64 {
+	if t.root == nil {
+		panic("ml: DecisionTree.Predict before Fit")
+	}
+	if len(x) != t.d {
+		panic(fmt.Sprintf("ml: DecisionTree.Predict with %d features, trained on %d", len(x), t.d))
+	}
+	node := t.root
+	for !node.leaf {
+		if x[node.feature] <= node.thresh {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.value
+}
+
+// Depth returns the fitted tree's depth (0 for a single leaf).
+func (t *DecisionTree) Depth() int {
+	var walk func(n *treeNode) int
+	walk = func(n *treeNode) int {
+		if n == nil || n.leaf {
+			return 0
+		}
+		l, r := walk(n.left), walk(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(t.root)
+}
+
+// Leaves returns the number of leaves in the fitted tree.
+func (t *DecisionTree) Leaves() int {
+	var walk func(n *treeNode) int
+	walk = func(n *treeNode) int {
+		if n == nil {
+			return 0
+		}
+		if n.leaf {
+			return 1
+		}
+		return walk(n.left) + walk(n.right)
+	}
+	return walk(t.root)
+}

@@ -1,0 +1,187 @@
+// Package noc models the 2D mesh on-chip network: XY-routed hop latency
+// between tiles plus a queuing delay on the mesh's bisection (cross-section)
+// links driven by measured traffic.
+//
+// The model is epoch-based, matching the simulator's contention scheme: the
+// simulator accounts every message's bytes during an epoch; at the epoch
+// boundary the bisection utilization is recomputed and determines the
+// congestion delay applied to bisection-crossing messages in the next epoch.
+// This is the same feedback abstraction high-speed simulators like Sniper
+// use in their default network models.
+package noc
+
+import (
+	"fmt"
+
+	"scalesim/internal/config"
+)
+
+// Mesh is the mesh NoC state for one simulated machine.
+type Mesh struct {
+	w, h       int
+	hopLatency float64
+	// linkBytesPerCycle is the capacity of one cross-section link expressed
+	// in bytes per core clock cycle.
+	linkBytesPerCycle float64
+	csls              int
+
+	// Epoch accounting.
+	epochBisectionBytes float64
+	util                float64 // smoothed bisection utilization
+
+	// Cumulative statistics.
+	TotalMessages       uint64
+	TotalBisectionBytes float64
+	TotalBytes          float64
+}
+
+// New builds a mesh from cfg for a machine clocked at freqGHz. Bandwidth is
+// not capacity-scaled: the global miniaturisation shortens runs but the
+// bytes-per-cycle ratios between configurations are what matter, and those
+// come straight from cfg.
+func New(cfg config.NoCConfig, freqGHz float64) (*Mesh, error) {
+	if cfg.MeshWidth < 1 || cfg.MeshHeight < 1 {
+		return nil, fmt.Errorf("noc: invalid mesh %dx%d", cfg.MeshWidth, cfg.MeshHeight)
+	}
+	if cfg.CrossSectionLinks < 1 || cfg.LinkGBps <= 0 {
+		return nil, fmt.Errorf("noc: invalid cross-section %d links x %v", cfg.CrossSectionLinks, cfg.LinkGBps)
+	}
+	if freqGHz <= 0 {
+		return nil, fmt.Errorf("noc: invalid frequency %v GHz", freqGHz)
+	}
+	return &Mesh{
+		w:                 cfg.MeshWidth,
+		h:                 cfg.MeshHeight,
+		hopLatency:        float64(cfg.HopLatency),
+		linkBytesPerCycle: float64(cfg.LinkGBps) / freqGHz,
+		csls:              cfg.CrossSectionLinks,
+	}, nil
+}
+
+// Tile returns the (x, y) mesh coordinates of tile id (row-major layout).
+func (m *Mesh) Tile(id int) (x, y int) { return id % m.w, id / m.w }
+
+// Tiles returns the number of tiles in the mesh.
+func (m *Mesh) Tiles() int { return m.w * m.h }
+
+// MCTile returns the tile adjacent to memory controller mc out of total.
+// Controllers are spread across the top and bottom mesh rows, as in typical
+// server floorplans.
+func (m *Mesh) MCTile(mc, total int) int {
+	if total <= 0 {
+		return 0
+	}
+	mc = mc % total
+	half := (total + 1) / 2
+	if mc < half {
+		// Bottom row (y = 0), spread across x.
+		x := (mc*m.w + m.w/2) / max(half, 1) % m.w
+		return x
+	}
+	// Top row (y = h-1).
+	i := mc - half
+	x := (i*m.w + m.w/2) / max(total-half, 1) % m.w
+	return (m.h-1)*m.w + x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Route returns the XY-routing hop count between two tiles and whether the
+// route crosses the horizontal bisection cut (between rows h/2-1 and h/2).
+func (m *Mesh) Route(from, to int) (hops int, crossesBisection bool) {
+	fx, fy := m.Tile(from)
+	tx, ty := m.Tile(to)
+	dx, dy := tx-fx, ty-fy
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	hops = dx + dy
+	if m.h >= 2 {
+		cut := m.h / 2
+		crossesBisection = (fy < cut) != (ty < cut)
+	}
+	return hops, crossesBisection
+}
+
+// Latency returns the current network latency in cycles for a message of
+// size bytes between two tiles, and records the traffic for epoch
+// accounting. The latency is hop propagation plus, for bisection-crossing
+// messages, the congestion delay derived from last epoch's utilization.
+func (m *Mesh) Latency(from, to int, bytes int) float64 {
+	hops, crossing := m.Route(from, to)
+	m.TotalMessages++
+	m.TotalBytes += float64(bytes)
+	lat := float64(hops) * m.hopLatency
+	if crossing {
+		m.epochBisectionBytes += float64(bytes)
+		m.TotalBisectionBytes += float64(bytes)
+		lat += m.queueDelay()
+	}
+	return lat
+}
+
+// queueDelay is an M/D/1-style waiting time on a cross-section link:
+// W = s * rho / (2 * (1 - rho)), with s the service time of a 64-byte flit
+// group and rho the smoothed bisection utilization, capped below 1.
+func (m *Mesh) queueDelay() float64 {
+	rho := m.util
+	if rho > 0.98 {
+		rho = 0.98
+	}
+	if rho <= 0 {
+		return 0
+	}
+	service := 64 / m.linkBytesPerCycle
+	return service * rho / (2 * (1 - rho))
+}
+
+// EndEpoch folds the traffic accounted since the previous call into the
+// utilization estimate, given the epoch length in cycles.
+func (m *Mesh) EndEpoch(cycles float64) {
+	if cycles <= 0 {
+		return
+	}
+	capacity := m.linkBytesPerCycle * float64(m.csls) * cycles
+	inst := 0.0
+	if capacity > 0 {
+		inst = m.epochBisectionBytes / capacity
+	}
+	if inst > 1.5 {
+		inst = 1.5 // bounded overshoot; the CPI feedback throttles demand
+	}
+	// Exponential smoothing stabilises the fixed point across epochs.
+	m.util = 0.5*m.util + 0.5*inst
+	m.epochBisectionBytes = 0
+}
+
+// Utilization returns the smoothed bisection utilization (can exceed 1
+// transiently when demand overshoots capacity).
+func (m *Mesh) Utilization() float64 { return m.util }
+
+// AverageHops returns the mean XY hop distance between two uniformly random
+// distinct tiles — a sanity metric used in tests and reports.
+func (m *Mesh) AverageHops() float64 {
+	if m.Tiles() == 1 {
+		return 0
+	}
+	total, pairs := 0, 0
+	for a := 0; a < m.Tiles(); a++ {
+		for b := 0; b < m.Tiles(); b++ {
+			if a == b {
+				continue
+			}
+			h, _ := m.Route(a, b)
+			total += h
+			pairs++
+		}
+	}
+	return float64(total) / float64(pairs)
+}

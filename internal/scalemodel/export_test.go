@@ -1,0 +1,11 @@
+package scalemodel
+
+import (
+	"scalesim/internal/config"
+	"scalesim/internal/sim"
+)
+
+// SetRunnerForTest replaces the Lab's simulator with a fake.
+func (l *Lab) SetRunnerForTest(r func(*config.SystemConfig, sim.Workload, sim.Options) (*sim.Result, error)) {
+	l.runner = r
+}

@@ -1,0 +1,133 @@
+// Package scalemodel implements the paper's contribution: scale-model
+// architectural simulation. It glues the substrates together into the
+// methodology of §II-III —
+//
+//  1. construct a scale model of the target system (config.ScaleModel),
+//  2. simulate workloads on it (internal/sim) and extract the features the
+//     extrapolation models consume (IPC^ss, BW^ss, and the co-runners'
+//     aggregate bandwidth),
+//  3. extrapolate to the target system with one of three methods:
+//     NoExtrapolation (the scale-model reading itself), ML-based Prediction
+//     (Fig. 1: models trained against target-system runs), or ML-based
+//     Regression (Fig. 2: models trained against multi-core scale-model
+//     runs plus a performance-versus-cores curve fit),
+//
+// and implements the paper's two evaluation protocols (homogeneous
+// leave-one-out and heterogeneous train/eval split, §IV).
+package scalemodel
+
+import (
+	"fmt"
+
+	"scalesim/internal/ml"
+)
+
+// Features is one application's input to the extrapolation models
+// (§III-B1): performance and bandwidth utilization measured on the
+// single-core scale model, plus the aggregate bandwidth utilization of its
+// co-runners in the mix (a measure of how much pressure the application
+// will be under on the shared memory subsystem).
+type Features struct {
+	IPC  float64 // IPC^ss: single-core scale-model IPC
+	BW   float64 // BW^ss: single-core scale-model bandwidth utilization
+	CoBW float64 // sum of the co-runners' BW^ss
+}
+
+// Inputs selects which features the models see (the Fig. 10 ablation).
+type Inputs int
+
+const (
+	// InputsIPCAndBW is the paper's default three-feature input.
+	InputsIPCAndBW Inputs = iota
+	// InputsIPCOnly drops the bandwidth features.
+	InputsIPCOnly
+)
+
+func (in Inputs) String() string {
+	if in == InputsIPCOnly {
+		return "IPC-only"
+	}
+	return "IPC+BW"
+}
+
+// Vector renders the features for the ML estimators.
+func (f Features) Vector(in Inputs) []float64 {
+	if in == InputsIPCOnly {
+		return []float64{f.IPC}
+	}
+	return []float64{f.IPC, f.BW, f.CoBW}
+}
+
+// Sample is one labelled training point: features from the single-core
+// scale model, target value measured on a larger machine (the target system
+// for ML-based Prediction, a multi-core scale model for ML-based
+// Regression).
+type Sample struct {
+	Bench string
+	F     Features
+	Y     float64
+}
+
+// Metric selects the dependent variable (§V-E5: the methodology predicts
+// bandwidth utilization as readily as performance).
+type Metric int
+
+const (
+	// MetricIPC predicts per-application IPC (the default).
+	MetricIPC Metric = iota
+	// MetricBW predicts per-application memory bandwidth utilization.
+	MetricBW
+)
+
+func (m Metric) String() string {
+	if m == MetricBW {
+		return "bandwidth"
+	}
+	return "IPC"
+}
+
+// EstimatorKind selects the ML technique (§III-B1).
+type EstimatorKind int
+
+const (
+	// DT is the CART decision tree.
+	DT EstimatorKind = iota
+	// RF is the random forest.
+	RF
+	// SVM is the RBF-kernel support vector regressor.
+	SVM
+)
+
+func (k EstimatorKind) String() string {
+	switch k {
+	case DT:
+		return "DT"
+	case RF:
+		return "RF"
+	case SVM:
+		return "SVM"
+	default:
+		return fmt.Sprintf("EstimatorKind(%d)", int(k))
+	}
+}
+
+// newEstimator builds a fresh untrained estimator. The seed only matters
+// for the random forest's bootstrap.
+func newEstimator(k EstimatorKind, seed uint64) (ml.Regressor, error) {
+	switch k {
+	case DT:
+		return &ml.DecisionTree{}, nil
+	case RF:
+		return &ml.RandomForest{Seed: seed}, nil
+	case SVM:
+		// Cross-validated hyperparameter selection: the homogeneous and
+		// heterogeneous protocols hand the SVM very differently sized and
+		// shaped training sets.
+		return &ml.TunedSVR{}, nil
+	default:
+		return nil, fmt.Errorf("scalemodel: unknown estimator kind %d", int(k))
+	}
+}
+
+// Kinds lists all estimator kinds in the paper's presentation order.
+func Kinds() []EstimatorKind { return []EstimatorKind{DT, RF, SVM} }

@@ -1,0 +1,219 @@
+package scalemodel
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"scalesim/internal/config"
+	"scalesim/internal/sim"
+	"scalesim/internal/trace"
+)
+
+// Lab runs and memoises simulations for the experiment protocols. Many of
+// the paper's figures share the same underlying runs (e.g. every
+// homogeneous study needs the 29 single-core scale-model runs), so the Lab
+// caches results keyed by (configuration, workload, options); experiments
+// then cost only their unique simulations.
+type Lab struct {
+	// Target is the system being predicted (default: config.Target()).
+	Target *config.SystemConfig
+	// Opts are the simulation options shared by every run.
+	Opts sim.Options
+	// Policy is the scale-model construction policy (default PRSFull).
+	Policy config.ScalingPolicy
+	// Bandwidth is the DRAM scaling order (default MCFirst).
+	Bandwidth config.BandwidthScaling
+
+	// runner is injectable for tests; defaults to sim.Run.
+	runner func(*config.SystemConfig, sim.Workload, sim.Options) (*sim.Result, error)
+
+	shared *labShared
+}
+
+// labShared is the state Lab variants (WithPolicy, WithBandwidth) share, so
+// that e.g. the Fig. 3 policy sweep reuses one set of target-system runs.
+type labShared struct {
+	cache map[string]*sim.Result
+	// runs counts cache misses (actual simulator invocations).
+	runs int
+	// simTime accumulates wall-clock spent in actual simulator runs, per
+	// configuration name (used by the Fig. 7 speedup study).
+	simTime map[string]time.Duration
+}
+
+// NewLab returns a Lab predicting the Table II target with the given
+// simulation options.
+func NewLab(opts sim.Options) *Lab {
+	return &Lab{
+		Target:    config.Target(),
+		Opts:      opts,
+		Policy:    config.PRSFull,
+		Bandwidth: config.MCFirst,
+		runner:    sim.Run,
+		shared: &labShared{
+			cache:   make(map[string]*sim.Result),
+			simTime: make(map[string]time.Duration),
+		},
+	}
+}
+
+// WithPolicy returns a Lab variant using the given scale-model construction
+// policy. The variant shares the run cache (and counters) with l.
+func (l *Lab) WithPolicy(p config.ScalingPolicy) *Lab {
+	v := *l
+	v.Policy = p
+	return &v
+}
+
+// WithBandwidth returns a Lab variant using the given DRAM bandwidth
+// scaling order, sharing the run cache with l.
+func (l *Lab) WithBandwidth(b config.BandwidthScaling) *Lab {
+	v := *l
+	v.Bandwidth = b
+	return &v
+}
+
+// WithSimOptions returns a Lab variant with different simulation options,
+// sharing the run cache (cache keys include the options, so variants never
+// collide).
+func (l *Lab) WithSimOptions(opts sim.Options) *Lab {
+	v := *l
+	v.Opts = opts
+	return &v
+}
+
+// Runs reports how many distinct simulations have actually been executed.
+func (l *Lab) Runs() int { return l.shared.runs }
+
+// SimTime reports accumulated simulator wall-clock per configuration name.
+func (l *Lab) SimTime() map[string]time.Duration { return l.shared.simTime }
+
+// ScaleModelConfig derives the Lab's scale model with the given core count
+// (the target configuration itself when cores equals the target's).
+func (l *Lab) ScaleModelConfig(cores int) (*config.SystemConfig, error) {
+	return config.ScaleModel(l.Target, cores, config.ScaleModelOptions{
+		Policy:    l.Policy,
+		Bandwidth: l.Bandwidth,
+	})
+}
+
+func workloadKey(wl sim.Workload) string {
+	names := make([]string, len(wl.Profiles))
+	for i, p := range wl.Profiles {
+		names[i] = p.Name
+	}
+	return strings.Join(names, ",")
+}
+
+// Run simulates wl on cfg, returning a cached result when the same run was
+// already performed.
+func (l *Lab) Run(cfg *config.SystemConfig, wl sim.Workload) (*sim.Result, error) {
+	key := fmt.Sprintf("%s|%s|%+v", cfg.Name, workloadKey(wl), l.Opts)
+	if res, ok := l.shared.cache[key]; ok {
+		return res, nil
+	}
+	res, err := l.runner(cfg, wl, l.Opts)
+	if err != nil {
+		return nil, err
+	}
+	l.shared.cache[key] = res
+	l.shared.runs++
+	l.shared.simTime[cfg.Name] += res.WallClock
+	return res, nil
+}
+
+// HomogeneousRun simulates `cores` copies of prof on the matching scale
+// model (or the target when cores equals the target core count).
+func (l *Lab) HomogeneousRun(cores int, prof *trace.Profile) (*sim.Result, error) {
+	cfg := l.Target
+	if cores != l.Target.Cores {
+		var err error
+		cfg, err = l.ScaleModelConfig(cores)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return l.Run(cfg, sim.Homogeneous(prof, cores))
+}
+
+// MixRun simulates a heterogeneous mix on the machine with exactly
+// len(profiles) cores.
+func (l *Lab) MixRun(profiles []*trace.Profile) (*sim.Result, error) {
+	cores := len(profiles)
+	cfg := l.Target
+	if cores != l.Target.Cores {
+		var err error
+		cfg, err = l.ScaleModelConfig(cores)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return l.Run(cfg, sim.Workload{Profiles: profiles})
+}
+
+// fairShareBW converts a core result's DRAM traffic into the dimensionless
+// bandwidth utilization used throughout the methodology: bytes per cycle
+// relative to the machine's per-core fair share (4 GB/s per core under
+// PRS). The same application saturating its share reads ~1.0 on the
+// single-core scale model and on the target alike.
+func fairShareBW(cfg *config.SystemConfig, cr sim.CoreResult) float64 {
+	totalBpc := float64(cfg.DRAM.TotalGBps()) / cfg.Core.FrequencyGHz
+	perCore := totalBpc / float64(cfg.Cores)
+	if perCore <= 0 {
+		return 0
+	}
+	return cr.BWBytesPerCycle / perCore
+}
+
+// Measurement is one application's single-core scale-model reading.
+type Measurement struct {
+	Bench string
+	IPC   float64
+	BW    float64 // fair-share bandwidth utilization
+	MPKI  float64 // LLC misses per kilo-instruction (Fig. 3's sort key)
+}
+
+// MeasureSingleCore runs prof alone on the single-core scale model and
+// returns its measurement (cached like any other run).
+func (l *Lab) MeasureSingleCore(prof *trace.Profile) (Measurement, error) {
+	cfg, err := l.ScaleModelConfig(1)
+	if err != nil {
+		return Measurement{}, err
+	}
+	res, err := l.Run(cfg, sim.Homogeneous(prof, 1))
+	if err != nil {
+		return Measurement{}, err
+	}
+	cr := res.Cores[0]
+	return Measurement{
+		Bench: prof.Name,
+		IPC:   cr.IPC,
+		BW:    fairShareBW(cfg, cr),
+		MPKI:  cr.LLCMPKI,
+	}, nil
+}
+
+// metricValue extracts the dependent variable from one core result.
+func metricValue(m Metric, cfg *config.SystemConfig, cr sim.CoreResult) float64 {
+	if m == MetricBW {
+		return fairShareBW(cfg, cr)
+	}
+	return cr.IPC
+}
+
+// perBenchAverage averages the metric per benchmark name across a run's
+// cores (homogeneous runs have one benchmark; mixes may repeat one).
+func perBenchAverage(m Metric, cfg *config.SystemConfig, res *sim.Result) map[string]float64 {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, cr := range res.Cores {
+		sums[cr.Benchmark] += metricValue(m, cfg, cr)
+		counts[cr.Benchmark]++
+	}
+	out := make(map[string]float64, len(sums))
+	for name, sum := range sums {
+		out[name] = sum / float64(counts[name])
+	}
+	return out
+}

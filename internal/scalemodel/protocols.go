@@ -1,0 +1,549 @@
+package scalemodel
+
+import (
+	"fmt"
+
+	"scalesim/internal/fit"
+	"scalesim/internal/metrics"
+	"scalesim/internal/trace"
+	"scalesim/internal/xrand"
+)
+
+// MethodKind selects the extrapolation method (§III).
+type MethodKind int
+
+const (
+	// MethodNoExtrapolation uses the single-core scale-model reading.
+	MethodNoExtrapolation MethodKind = iota
+	// MethodPrediction is ML-based Prediction (trained on target runs).
+	MethodPrediction
+	// MethodRegression is ML-based Regression (trained on multi-core scale
+	// models, extrapolated with a curve fit).
+	MethodRegression
+)
+
+// MethodSpec fully describes one extrapolation method variant.
+type MethodSpec struct {
+	Method    MethodKind
+	Estimator EstimatorKind // Prediction/Regression
+	Form      fit.Model     // Regression curve family
+	Inputs    Inputs
+	// ScaleModels optionally restricts Regression to a subset of the
+	// collected multi-core scale models (Fig. 11); nil = all.
+	ScaleModels []int
+	// Seed drives estimator randomisation (random forest bootstrap).
+	Seed uint64
+}
+
+// Name renders the paper's label for the method ("No Extrapolation",
+// "SVM", "SVM-log", ...).
+func (s MethodSpec) Name() string {
+	switch s.Method {
+	case MethodNoExtrapolation:
+		return "No Extrapolation"
+	case MethodPrediction:
+		return s.Estimator.String()
+	case MethodRegression:
+		return fmt.Sprintf("%s-%s", s.Estimator, s.Form)
+	default:
+		return fmt.Sprintf("MethodSpec(%d)", int(s.Method))
+	}
+}
+
+// predictFunc maps an application's features to a target-system estimate.
+type predictFunc func(Features) (float64, error)
+
+// buildMethod trains the method described by spec and returns its
+// prediction function. predSamples carry target-system labels (used by
+// Prediction); regSamples carry per-scale-model labels (used by
+// Regression). metric selects the no-extrapolation feature passthrough.
+func buildMethod(spec MethodSpec, targetCores int, metric Metric,
+	predSamples []Sample, regSamples map[int][]Sample) (predictFunc, error) {
+	switch spec.Method {
+	case MethodNoExtrapolation:
+		return func(f Features) (float64, error) {
+			if metric == MetricBW {
+				return f.BW, nil
+			}
+			return NoExtrapolation(f), nil
+		}, nil
+	case MethodPrediction:
+		p, err := TrainPredictor(spec.Estimator, spec.Inputs, metric, predSamples, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return func(f Features) (float64, error) { return p.Predict(f), nil }, nil
+	case MethodRegression:
+		selected := regSamples
+		if spec.ScaleModels != nil {
+			selected = make(map[int][]Sample, len(spec.ScaleModels))
+			for _, c := range spec.ScaleModels {
+				s, ok := regSamples[c]
+				if !ok {
+					return nil, fmt.Errorf("scalemodel: no samples collected for %d-core scale model", c)
+				}
+				selected[c] = s
+			}
+		}
+		r, err := TrainRegression(spec.Estimator, spec.Form, spec.Inputs, metric, selected, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return func(f Features) (float64, error) { return r.Predict(f, targetCores) }, nil
+	default:
+		return nil, fmt.Errorf("scalemodel: unknown method %d", int(spec.Method))
+	}
+}
+
+// HomogeneousData holds every measurement the homogeneous leave-one-out
+// protocol needs (§IV-2): single-core features, target-system labels and
+// multi-core scale-model labels for each benchmark.
+type HomogeneousData struct {
+	TargetCores int
+	Metric      Metric
+	Benchmarks  []string
+
+	Meas   map[string]Measurement
+	Feat   map[string]Features
+	Target map[string]float64
+	Scale  map[int]map[string]float64
+}
+
+// CollectHomogeneous simulates everything the homogeneous protocol needs:
+// for each benchmark, the single-core scale model, the homogeneous target
+// run, and homogeneous runs on each multi-core scale model in scaleCores.
+func (l *Lab) CollectHomogeneous(benchmarks []*trace.Profile, scaleCores []int, metric Metric) (*HomogeneousData, error) {
+	d := &HomogeneousData{
+		TargetCores: l.Target.Cores,
+		Metric:      metric,
+		Meas:        map[string]Measurement{},
+		Feat:        map[string]Features{},
+		Target:      map[string]float64{},
+		Scale:       map[int]map[string]float64{},
+	}
+	for _, c := range scaleCores {
+		d.Scale[c] = map[string]float64{}
+	}
+	T := l.Target.Cores
+	for _, prof := range benchmarks {
+		m, err := l.MeasureSingleCore(prof)
+		if err != nil {
+			return nil, err
+		}
+		d.Benchmarks = append(d.Benchmarks, prof.Name)
+		d.Meas[prof.Name] = m
+		// In a homogeneous mix every co-runner is another copy of the
+		// benchmark itself: CoBW = (T-1) * BW^ss.
+		d.Feat[prof.Name] = Features{IPC: m.IPC, BW: m.BW, CoBW: float64(T-1) * m.BW}
+
+		tres, err := l.HomogeneousRun(T, prof)
+		if err != nil {
+			return nil, err
+		}
+		tcfg := l.Target
+		d.Target[prof.Name] = perBenchAverage(metric, tcfg, tres)[prof.Name]
+
+		for _, c := range scaleCores {
+			cfg, err := l.ScaleModelConfig(c)
+			if err != nil {
+				return nil, err
+			}
+			res, err := l.HomogeneousRun(c, prof)
+			if err != nil {
+				return nil, err
+			}
+			d.Scale[c][prof.Name] = perBenchAverage(metric, cfg, res)[prof.Name]
+		}
+	}
+	return d, nil
+}
+
+// samplesExcluding builds labelled samples from every benchmark except
+// skip, with labels drawn from the given per-benchmark value map.
+func (d *HomogeneousData) samplesExcluding(skip string, labels map[string]float64) []Sample {
+	out := make([]Sample, 0, len(d.Benchmarks))
+	for _, b := range d.Benchmarks {
+		if b == skip {
+			continue
+		}
+		out = append(out, Sample{Bench: b, F: d.Feat[b], Y: labels[b]})
+	}
+	return out
+}
+
+// scaleSamplesExcluding builds the regression training samples for the
+// X-core scale model: the labels come from X-copy homogeneous runs, so the
+// co-runner bandwidth feature is the pressure of X-1 copies — keeping each
+// scale model's feature space consistent with its measurements (queries are
+// projected into the same space by RegressionModel).
+func (d *HomogeneousData) scaleSamplesExcluding(skip string, scaleCores int, labels map[string]float64) []Sample {
+	out := make([]Sample, 0, len(d.Benchmarks))
+	for _, b := range d.Benchmarks {
+		if b == skip {
+			continue
+		}
+		m := d.Meas[b]
+		f := Features{IPC: m.IPC, BW: m.BW, CoBW: float64(scaleCores-1) * m.BW}
+		out = append(out, Sample{Bench: b, F: f, Y: labels[b]})
+	}
+	return out
+}
+
+// EvaluateLOO runs the paper's leave-one-benchmark-out protocol for one
+// method: for every benchmark, a model trained on the other N-1 benchmarks
+// predicts it, and the absolute relative error against the target-system
+// measurement is recorded. Errors carry the benchmark's single-core LLC
+// MPKI as sort key (Fig. 3/4 order benchmarks by memory intensity).
+func (d *HomogeneousData) EvaluateLOO(spec MethodSpec) ([]metrics.NamedError, error) {
+	var out []metrics.NamedError
+	for _, b := range d.Benchmarks {
+		predSamples := d.samplesExcluding(b, d.Target)
+		regSamples := make(map[int][]Sample, len(d.Scale))
+		for c, labels := range d.Scale {
+			regSamples[c] = d.scaleSamplesExcluding(b, c, labels)
+		}
+		predict, err := buildMethod(spec, d.TargetCores, d.Metric, predSamples, regSamples)
+		if err != nil {
+			return nil, fmt.Errorf("scalemodel: %s for %s: %w", spec.Name(), b, err)
+		}
+		pred, err := predict(d.Feat[b])
+		if err != nil {
+			return nil, fmt.Errorf("scalemodel: %s predicting %s: %w", spec.Name(), b, err)
+		}
+		out = append(out, metrics.NamedError{
+			Name:  b,
+			Key:   d.Meas[b].MPKI,
+			Error: metrics.PredictionError(pred, d.Target[b]),
+		})
+	}
+	metrics.SortByKey(out)
+	return out, nil
+}
+
+// PredictOne trains spec on every benchmark except bench and returns the
+// prediction for bench alongside the measured target value (one fold of the
+// leave-one-out protocol).
+func (d *HomogeneousData) PredictOne(bench string, spec MethodSpec) (pred, actual float64, err error) {
+	if _, ok := d.Feat[bench]; !ok {
+		return 0, 0, fmt.Errorf("scalemodel: benchmark %q not collected", bench)
+	}
+	predSamples := d.samplesExcluding(bench, d.Target)
+	regSamples := make(map[int][]Sample, len(d.Scale))
+	for c, labels := range d.Scale {
+		regSamples[c] = d.scaleSamplesExcluding(bench, c, labels)
+	}
+	predict, err := buildMethod(spec, d.TargetCores, d.Metric, predSamples, regSamples)
+	if err != nil {
+		return 0, 0, err
+	}
+	pred, err = predict(d.Feat[bench])
+	return pred, d.Target[bench], err
+}
+
+// HeteroOptions parameterises the heterogeneous protocol (§IV-2).
+type HeteroOptions struct {
+	// EvalBenchmarks is the number of randomly chosen evaluation
+	// benchmarks (paper: 8); the rest of the suite trains the models.
+	EvalBenchmarks int
+	// TrainResults is the total number of labelled training results per
+	// model (paper: 320). Prediction uses TrainResults/T target mixes;
+	// Regression uses TrainResults/X mixes on each X-core scale model.
+	TrainResults int
+	// EvalMixes is the number of evaluation mixes per application (paper:
+	// 10).
+	EvalMixes int
+	// STPMixes is the number of mixes for the system-throughput study
+	// (paper: 80). 0 skips STP collection.
+	STPMixes int
+	// ScaleModels are the multi-core scale-model sizes for Regression
+	// (paper: 2, 4, 8, 16).
+	ScaleModels []int
+	// Metric selects the dependent variable.
+	Metric Metric
+	// Seed drives benchmark selection and mix composition.
+	Seed uint64
+}
+
+// DefaultHeteroOptions returns the paper's heterogeneous setup.
+func DefaultHeteroOptions() HeteroOptions {
+	return HeteroOptions{
+		EvalBenchmarks: 8,
+		TrainResults:   320,
+		EvalMixes:      10,
+		STPMixes:       80,
+		ScaleModels:    []int{2, 4, 8, 16},
+		Metric:         MetricIPC,
+		Seed:           2022,
+	}
+}
+
+// HeterogeneousData holds the heterogeneous protocol's measurements.
+type HeterogeneousData struct {
+	TargetCores int
+	Metric      Metric
+
+	TrainBenchmarks []string
+	EvalBenchmarks  []string
+	Meas            map[string]Measurement
+
+	// PredSamples carry target-system labels; RegSamples carry labels per
+	// multi-core scale-model size.
+	PredSamples []Sample
+	RegSamples  map[int][]Sample
+
+	// EvalMixes are the balanced evaluation mixes with their measured
+	// per-benchmark target values (metric units).
+	EvalMixes []MixResult
+	// STPMixes are the random mixes for the throughput study (IPC metric).
+	STPMixes []MixResult
+}
+
+// MixResult is one simulated mix: its composition and the measured
+// per-benchmark average metric on the target system.
+type MixResult struct {
+	Slots  []string
+	Actual map[string]float64
+}
+
+// features computes the per-benchmark features within this mix given the
+// single-core measurements: CoBW sums the other slots' BW^ss.
+func (m MixResult) features(meas map[string]Measurement) map[string]Features {
+	total := 0.0
+	for _, s := range m.Slots {
+		total += meas[s].BW
+	}
+	out := make(map[string]Features)
+	for _, s := range m.Slots {
+		if _, ok := out[s]; ok {
+			continue
+		}
+		mm := meas[s]
+		out[s] = Features{IPC: mm.IPC, BW: mm.BW, CoBW: total - mm.BW}
+	}
+	return out
+}
+
+// CollectHeterogeneous simulates everything the heterogeneous protocol
+// needs. All randomness (benchmark split, mix composition) derives from
+// opts.Seed.
+func (l *Lab) CollectHeterogeneous(suite []*trace.Profile, opts HeteroOptions) (*HeterogeneousData, error) {
+	if opts.EvalBenchmarks <= 0 || opts.EvalBenchmarks >= len(suite) {
+		return nil, fmt.Errorf("scalemodel: %d eval benchmarks out of %d", opts.EvalBenchmarks, len(suite))
+	}
+	T := l.Target.Cores
+	rng := xrand.New(opts.Seed ^ 0x48e7e20)
+
+	// Random train/eval split.
+	perm := rng.Perm(len(suite))
+	byName := map[string]*trace.Profile{}
+	d := &HeterogeneousData{
+		TargetCores: T,
+		Metric:      opts.Metric,
+		Meas:        map[string]Measurement{},
+		RegSamples:  map[int][]Sample{},
+	}
+	var evalProfiles, trainProfiles []*trace.Profile
+	for i, pi := range perm {
+		p := suite[pi]
+		byName[p.Name] = p
+		if i < opts.EvalBenchmarks {
+			d.EvalBenchmarks = append(d.EvalBenchmarks, p.Name)
+			evalProfiles = append(evalProfiles, p)
+		} else {
+			d.TrainBenchmarks = append(d.TrainBenchmarks, p.Name)
+			trainProfiles = append(trainProfiles, p)
+		}
+	}
+
+	// Single-core measurements for every benchmark.
+	for _, p := range suite {
+		m, err := l.MeasureSingleCore(p)
+		if err != nil {
+			return nil, err
+		}
+		d.Meas[p.Name] = m
+	}
+
+	randomMix := func(rng *xrand.RNG, pool []*trace.Profile, slots int) []*trace.Profile {
+		mix := make([]*trace.Profile, slots)
+		for i := range mix {
+			mix[i] = pool[rng.Intn(len(pool))]
+		}
+		return mix
+	}
+
+	// Training mixes for ML-based Prediction: target-system runs.
+	mixRng := rng.Split()
+	nTrainMixes := opts.TrainResults / T
+	if nTrainMixes < 1 {
+		nTrainMixes = 1
+	}
+	for i := 0; i < nTrainMixes; i++ {
+		mix := randomMix(mixRng, trainProfiles, T)
+		res, err := l.MixRun(mix)
+		if err != nil {
+			return nil, err
+		}
+		mr := MixResult{Slots: profileNames(mix), Actual: perBenchAverage(opts.Metric, l.Target, res)}
+		feats := mr.features(d.Meas)
+		for _, cr := range res.Cores {
+			d.PredSamples = append(d.PredSamples, Sample{
+				Bench: cr.Benchmark,
+				F:     feats[cr.Benchmark],
+				Y:     metricValue(opts.Metric, l.Target, cr),
+			})
+		}
+	}
+
+	// Training mixes for ML-based Regression: multi-core scale models.
+	for _, X := range opts.ScaleModels {
+		cfg, err := l.ScaleModelConfig(X)
+		if err != nil {
+			return nil, err
+		}
+		n := opts.TrainResults / X
+		if n < 1 {
+			n = 1
+		}
+		smRng := rng.Split()
+		for i := 0; i < n; i++ {
+			mix := randomMix(smRng, trainProfiles, X)
+			res, err := l.MixRun(mix)
+			if err != nil {
+				return nil, err
+			}
+			mr := MixResult{Slots: profileNames(mix)}
+			feats := mr.features(d.Meas)
+			for _, cr := range res.Cores {
+				d.RegSamples[X] = append(d.RegSamples[X], Sample{
+					Bench: cr.Benchmark,
+					F:     feats[cr.Benchmark],
+					Y:     metricValue(opts.Metric, cfg, cr),
+				})
+			}
+		}
+	}
+
+	// Evaluation mixes: balanced (each eval benchmark appears T/n times),
+	// then shuffled across cores.
+	evalRng := rng.Split()
+	for i := 0; i < opts.EvalMixes; i++ {
+		mix := balancedMix(evalRng, evalProfiles, T)
+		res, err := l.MixRun(mix)
+		if err != nil {
+			return nil, err
+		}
+		d.EvalMixes = append(d.EvalMixes, MixResult{
+			Slots:  profileNames(mix),
+			Actual: perBenchAverage(opts.Metric, l.Target, res),
+		})
+	}
+
+	// STP mixes: random compositions of eval benchmarks (IPC metric).
+	stpRng := rng.Split()
+	for i := 0; i < opts.STPMixes; i++ {
+		mix := randomMix(stpRng, evalProfiles, T)
+		res, err := l.MixRun(mix)
+		if err != nil {
+			return nil, err
+		}
+		d.STPMixes = append(d.STPMixes, MixResult{
+			Slots:  profileNames(mix),
+			Actual: perBenchAverage(MetricIPC, l.Target, res),
+		})
+	}
+	return d, nil
+}
+
+func profileNames(ps []*trace.Profile) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// balancedMix distributes slots evenly across the pool and shuffles the
+// arrangement (every benchmark participates in every evaluation mix).
+func balancedMix(rng *xrand.RNG, pool []*trace.Profile, slots int) []*trace.Profile {
+	mix := make([]*trace.Profile, slots)
+	for i := range mix {
+		mix[i] = pool[i%len(pool)]
+	}
+	rng.Shuffle(len(mix), func(i, j int) { mix[i], mix[j] = mix[j], mix[i] })
+	return mix
+}
+
+// fitMethod trains spec on the heterogeneous training data.
+func (d *HeterogeneousData) fitMethod(spec MethodSpec) (predictFunc, error) {
+	return buildMethod(spec, d.TargetCores, d.Metric, d.PredSamples, d.RegSamples)
+}
+
+// EvaluatePerApp returns, for each evaluation benchmark, the mean absolute
+// prediction error across the evaluation mixes (Fig. 5), keyed by the
+// benchmark's single-core LLC MPKI.
+func (d *HeterogeneousData) EvaluatePerApp(spec MethodSpec) ([]metrics.NamedError, error) {
+	predict, err := d.fitMethod(spec)
+	if err != nil {
+		return nil, err
+	}
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, mix := range d.EvalMixes {
+		feats := mix.features(d.Meas)
+		for bench, f := range feats {
+			pred, err := predict(f)
+			if err != nil {
+				return nil, err
+			}
+			sums[bench] += metrics.PredictionError(pred, mix.Actual[bench])
+			counts[bench]++
+		}
+	}
+	var out []metrics.NamedError
+	for _, bench := range d.EvalBenchmarks {
+		if counts[bench] == 0 {
+			continue
+		}
+		out = append(out, metrics.NamedError{
+			Name:  bench,
+			Key:   d.Meas[bench].MPKI,
+			Error: sums[bench] / float64(counts[bench]),
+		})
+	}
+	metrics.SortByKey(out)
+	return out, nil
+}
+
+// EvaluateSTP returns the absolute system-throughput prediction error for
+// every STP mix (Fig. 6). STP is the sum over cores of target IPC
+// normalised by the application's single-core scale-model IPC; the
+// prediction replaces target IPC with the method's estimate.
+func (d *HeterogeneousData) EvaluateSTP(spec MethodSpec) ([]float64, error) {
+	if d.Metric != MetricIPC {
+		return nil, fmt.Errorf("scalemodel: STP requires the IPC metric")
+	}
+	predict, err := d.fitMethod(spec)
+	if err != nil {
+		return nil, err
+	}
+	var errs []float64
+	for _, mix := range d.STPMixes {
+		feats := mix.features(d.Meas)
+		var stpPred, stpActual float64
+		for _, bench := range mix.Slots {
+			base := d.Meas[bench].IPC
+			if base <= 0 {
+				return nil, fmt.Errorf("scalemodel: non-positive baseline IPC for %s", bench)
+			}
+			pred, err := predict(feats[bench])
+			if err != nil {
+				return nil, err
+			}
+			stpPred += pred / base
+			stpActual += mix.Actual[bench] / base
+		}
+		errs = append(errs, metrics.PredictionError(stpPred, stpActual))
+	}
+	return errs, nil
+}

@@ -1,0 +1,530 @@
+package scalemodel
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"scalesim/internal/config"
+	"scalesim/internal/fit"
+	"scalesim/internal/metrics"
+	"scalesim/internal/sim"
+	"scalesim/internal/trace"
+)
+
+// fakeWorld is an analytic stand-in for the simulator: each benchmark has
+// an intrinsic isolated IPC and bandwidth demand derived from its profile;
+// co-running programs contend for the machine's total bandwidth through a
+// smooth throttling law. This gives the pipeline a ground truth that is
+// cheap, deterministic and learnable.
+type fakeWorld struct{}
+
+func (fakeWorld) intrinsics(p *trace.Profile) (ipc0, bw0 float64) {
+	// Derive stable per-benchmark characteristics from the profile itself.
+	memFrac := float64(p.LoadsPerKI+p.StoresPerKI) / 1000
+	intensity := 0.0
+	for _, r := range p.Regions {
+		if r.Size > 2*config.MB {
+			intensity += r.Frac
+		}
+	}
+	ipc0 = 1/p.BaseCPI - 2*intensity
+	if ipc0 < 0.2 {
+		ipc0 = 0.2
+	}
+	bw0 = 8 * intensity * memFrac // fair-share units
+	return ipc0, bw0
+}
+
+// run produces a synthetic result: per-core IPC reduced by total bandwidth
+// pressure relative to the machine's aggregate capacity.
+func (w fakeWorld) run(cfg *config.SystemConfig, wl sim.Workload, opts sim.Options) (*sim.Result, error) {
+	totalDemand := 0.0
+	for _, p := range wl.Profiles {
+		_, bw0 := w.intrinsics(p)
+		totalDemand += bw0
+	}
+	capacity := float64(cfg.Cores) // fair-share units
+	pressure := totalDemand / capacity
+	res := &sim.Result{ConfigName: cfg.Name, ElapsedCycles: 1000}
+	perCoreShare := (float64(cfg.DRAM.TotalGBps()) / cfg.Core.FrequencyGHz) / float64(cfg.Cores)
+	for i, p := range wl.Profiles {
+		ipc0, bw0 := w.intrinsics(p)
+		// Smooth saturating contention: more pressure, lower IPC; larger
+		// machines add a mild NoC penalty the 1-core model cannot see.
+		ipc := ipc0 / (1 + 0.4*bw0*pressure) * (1 - 0.02*math.Log2(float64(cfg.Cores)+1))
+		eff := ipc / ipc0
+		res.Cores = append(res.Cores, sim.CoreResult{
+			Core:            i,
+			Benchmark:       p.Name,
+			Instructions:    100000,
+			Cycles:          100000 / ipc,
+			IPC:             ipc,
+			BWBytesPerCycle: bw0 * eff * perCoreShare,
+			LLCMPKI:         bw0 * 10,
+		})
+	}
+	res.WallClock = time.Duration(cfg.Cores) * time.Millisecond
+	return res, nil
+}
+
+func fakeLab() *Lab {
+	l := NewLab(sim.Options{Instructions: 1000, Warmup: 100, EpochCycles: 100, CapacityScale: 16, Seed: 1})
+	l.SetRunnerForTest(fakeWorld{}.run)
+	return l
+}
+
+func someBenchmarks(n int) []*trace.Profile {
+	return trace.Suite()[:n]
+}
+
+func TestFeatureVector(t *testing.T) {
+	f := Features{IPC: 1.5, BW: 0.4, CoBW: 2.1}
+	v := f.Vector(InputsIPCAndBW)
+	if len(v) != 3 || v[0] != 1.5 || v[1] != 0.4 || v[2] != 2.1 {
+		t.Fatalf("full vector %v", v)
+	}
+	v = f.Vector(InputsIPCOnly)
+	if len(v) != 1 || v[0] != 1.5 {
+		t.Fatalf("ipc-only vector %v", v)
+	}
+}
+
+func TestMethodSpecNames(t *testing.T) {
+	cases := map[string]MethodSpec{
+		"No Extrapolation": {Method: MethodNoExtrapolation},
+		"SVM":              {Method: MethodPrediction, Estimator: SVM},
+		"DT":               {Method: MethodPrediction, Estimator: DT},
+		"SVM-log":          {Method: MethodRegression, Estimator: SVM, Form: fit.Logarithmic},
+		"RF-linear":        {Method: MethodRegression, Estimator: RF, Form: fit.Linear},
+	}
+	for want, spec := range cases {
+		if got := spec.Name(); got != want {
+			t.Errorf("spec name %q, want %q", got, want)
+		}
+	}
+}
+
+func TestCollectHomogeneousShapes(t *testing.T) {
+	l := fakeLab()
+	benches := someBenchmarks(6)
+	d, err := l.CollectHomogeneous(benches, []int{2, 4, 8, 16}, MetricIPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Benchmarks) != 6 {
+		t.Fatalf("%d benchmarks, want 6", len(d.Benchmarks))
+	}
+	for _, b := range d.Benchmarks {
+		if d.Feat[b].IPC <= 0 {
+			t.Errorf("%s: non-positive feature IPC", b)
+		}
+		if d.Target[b] <= 0 {
+			t.Errorf("%s: non-positive target label", b)
+		}
+		// CoBW must be (T-1) * BW for homogeneous mixes.
+		want := 31 * d.Feat[b].BW
+		if math.Abs(d.Feat[b].CoBW-want) > 1e-9 {
+			t.Errorf("%s: CoBW %v, want %v", b, d.Feat[b].CoBW, want)
+		}
+	}
+	for _, c := range []int{2, 4, 8, 16} {
+		if len(d.Scale[c]) != 6 {
+			t.Errorf("scale model %d: %d labels, want 6", c, len(d.Scale[c]))
+		}
+	}
+}
+
+func TestLabCaching(t *testing.T) {
+	l := fakeLab()
+	benches := someBenchmarks(4)
+	if _, err := l.CollectHomogeneous(benches, []int{2, 4}, MetricIPC); err != nil {
+		t.Fatal(err)
+	}
+	runs := l.Runs()
+	// Re-collecting must hit the cache entirely.
+	if _, err := l.CollectHomogeneous(benches, []int{2, 4}, MetricIPC); err != nil {
+		t.Fatal(err)
+	}
+	if l.Runs() != runs {
+		t.Fatalf("recollection ran %d extra simulations", l.Runs()-runs)
+	}
+	// 4 benches x (1-core + target + 2 scale models) = 16 runs.
+	if runs != 16 {
+		t.Fatalf("ran %d simulations, want 16", runs)
+	}
+}
+
+func TestEvaluateLOOAllMethods(t *testing.T) {
+	l := fakeLab()
+	d, err := l.CollectHomogeneous(someBenchmarks(10), []int{2, 4, 8, 16}, MetricIPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []MethodSpec{
+		{Method: MethodNoExtrapolation},
+		{Method: MethodPrediction, Estimator: DT},
+		{Method: MethodPrediction, Estimator: RF},
+		{Method: MethodPrediction, Estimator: SVM},
+		{Method: MethodRegression, Estimator: SVM, Form: fit.Logarithmic},
+		{Method: MethodRegression, Estimator: DT, Form: fit.Linear},
+		{Method: MethodRegression, Estimator: RF, Form: fit.Power},
+	}
+	for _, spec := range specs {
+		errs, err := d.EvaluateLOO(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name(), err)
+		}
+		if len(errs) != 10 {
+			t.Fatalf("%s: %d errors, want 10", spec.Name(), len(errs))
+		}
+		for _, e := range errs {
+			if math.IsNaN(e.Error) || e.Error < 0 {
+				t.Errorf("%s/%s: bad error %v", spec.Name(), e.Name, e.Error)
+			}
+		}
+		// Errors must be sorted by MPKI key.
+		for i := 1; i < len(errs); i++ {
+			if errs[i-1].Key > errs[i].Key {
+				t.Errorf("%s: errors not sorted by MPKI", spec.Name())
+			}
+		}
+	}
+}
+
+func TestPredictionBeatsNoExtrapolationOnFakeWorld(t *testing.T) {
+	// The fake world has a learnable contention law, so ML prediction must
+	// reduce the mean error substantially.
+	l := fakeLab()
+	d, err := l.CollectHomogeneous(trace.Suite(), []int{2, 4, 8, 16}, MetricIPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noneErrs, err := d.EvaluateLOO(MethodSpec{Method: MethodNoExtrapolation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svmErrs, err := d.EvaluateLOO(MethodSpec{Method: MethodPrediction, Estimator: SVM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect := func(es []metrics.NamedError) []float64 {
+		out := make([]float64, len(es))
+		for i, e := range es {
+			out[i] = e.Error
+		}
+		return out
+	}
+	none := metrics.Summarize(collect(noneErrs))
+	svm := metrics.Summarize(collect(svmErrs))
+	if svm.Mean >= none.Mean {
+		t.Fatalf("SVM mean error %.3f not below No Extrapolation %.3f", svm.Mean, none.Mean)
+	}
+}
+
+func TestRegressionWithScaleModelSubset(t *testing.T) {
+	l := fakeLab()
+	d, err := l.CollectHomogeneous(someBenchmarks(8), []int{2, 4, 8, 16}, MetricIPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := MethodSpec{Method: MethodRegression, Estimator: SVM, Form: fit.Logarithmic, ScaleModels: []int{2, 4}}
+	if _, err := d.EvaluateLOO(spec); err != nil {
+		t.Fatal(err)
+	}
+	spec.ScaleModels = []int{2, 64}
+	if _, err := d.EvaluateLOO(spec); err == nil {
+		t.Fatal("uncollected scale model accepted")
+	}
+}
+
+func TestCollectHeterogeneous(t *testing.T) {
+	l := fakeLab()
+	opts := HeteroOptions{
+		EvalBenchmarks: 4,
+		TrainResults:   128,
+		EvalMixes:      3,
+		STPMixes:       5,
+		ScaleModels:    []int{2, 4},
+		Metric:         MetricIPC,
+		Seed:           7,
+	}
+	d, err := l.CollectHeterogeneous(trace.Suite()[:12], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.EvalBenchmarks) != 4 || len(d.TrainBenchmarks) != 8 {
+		t.Fatalf("split %d/%d, want 4/8", len(d.EvalBenchmarks), len(d.TrainBenchmarks))
+	}
+	// Train and eval sets must be disjoint.
+	evalSet := map[string]bool{}
+	for _, b := range d.EvalBenchmarks {
+		evalSet[b] = true
+	}
+	for _, b := range d.TrainBenchmarks {
+		if evalSet[b] {
+			t.Fatalf("benchmark %s in both sets", b)
+		}
+	}
+	// Training samples must come from training benchmarks only.
+	if len(d.PredSamples) != 128/32*32 {
+		t.Fatalf("%d prediction samples, want 128", len(d.PredSamples))
+	}
+	for _, s := range d.PredSamples {
+		if evalSet[s.Bench] {
+			t.Fatalf("eval benchmark %s leaked into training", s.Bench)
+		}
+	}
+	for X, samples := range d.RegSamples {
+		if len(samples) != 128/X*X {
+			t.Errorf("scale model %d: %d samples, want %d", X, len(samples), 128)
+		}
+	}
+	if len(d.EvalMixes) != 3 || len(d.STPMixes) != 5 {
+		t.Fatalf("mix counts %d/%d, want 3/5", len(d.EvalMixes), len(d.STPMixes))
+	}
+	// Balanced eval mixes contain every eval benchmark.
+	for _, mix := range d.EvalMixes {
+		seen := map[string]bool{}
+		for _, s := range mix.Slots {
+			seen[s] = true
+			if evalSet[s] == false {
+				t.Fatalf("training benchmark %s in eval mix", s)
+			}
+		}
+		if len(seen) != 4 {
+			t.Fatalf("eval mix covers %d benchmarks, want 4", len(seen))
+		}
+	}
+}
+
+func TestHeterogeneousEvaluation(t *testing.T) {
+	l := fakeLab()
+	opts := HeteroOptions{
+		EvalBenchmarks: 4, TrainResults: 160, EvalMixes: 3, STPMixes: 6,
+		ScaleModels: []int{2, 4, 8, 16}, Metric: MetricIPC, Seed: 9,
+	}
+	d, err := l.CollectHeterogeneous(trace.Suite()[:16], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []MethodSpec{
+		{Method: MethodNoExtrapolation},
+		{Method: MethodPrediction, Estimator: SVM},
+		{Method: MethodRegression, Estimator: SVM, Form: fit.Logarithmic},
+	} {
+		perApp, err := d.EvaluatePerApp(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name(), err)
+		}
+		if len(perApp) != 4 {
+			t.Fatalf("%s: %d per-app errors, want 4", spec.Name(), len(perApp))
+		}
+		stp, err := d.EvaluateSTP(spec)
+		if err != nil {
+			t.Fatalf("%s STP: %v", spec.Name(), err)
+		}
+		if len(stp) != 6 {
+			t.Fatalf("%s: %d STP errors, want 6", spec.Name(), len(stp))
+		}
+		for _, e := range stp {
+			if math.IsNaN(e) || e < 0 {
+				t.Fatalf("%s: bad STP error %v", spec.Name(), e)
+			}
+		}
+	}
+}
+
+func TestSTPRequiresIPCMetric(t *testing.T) {
+	l := fakeLab()
+	opts := HeteroOptions{
+		EvalBenchmarks: 3, TrainResults: 64, EvalMixes: 1, STPMixes: 1,
+		ScaleModels: []int{2, 4}, Metric: MetricBW, Seed: 3,
+	}
+	d, err := l.CollectHeterogeneous(trace.Suite()[:10], opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.EvaluateSTP(MethodSpec{Method: MethodNoExtrapolation}); err == nil {
+		t.Fatal("STP with BW metric accepted")
+	}
+}
+
+func TestCollectHeterogeneousRejectsBadSplit(t *testing.T) {
+	l := fakeLab()
+	if _, err := l.CollectHeterogeneous(trace.Suite()[:5], HeteroOptions{EvalBenchmarks: 5}); err == nil {
+		t.Fatal("eval=all split accepted")
+	}
+	if _, err := l.CollectHeterogeneous(trace.Suite()[:5], HeteroOptions{EvalBenchmarks: 0}); err == nil {
+		t.Fatal("eval=0 split accepted")
+	}
+}
+
+func TestDeterministicCollection(t *testing.T) {
+	collect := func() *HeterogeneousData {
+		l := fakeLab()
+		d, err := l.CollectHeterogeneous(trace.Suite()[:10], HeteroOptions{
+			EvalBenchmarks: 3, TrainResults: 64, EvalMixes: 2, STPMixes: 2,
+			ScaleModels: []int{2, 4}, Metric: MetricIPC, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, b := collect(), collect()
+	if len(a.PredSamples) != len(b.PredSamples) {
+		t.Fatal("sample counts differ across identical collections")
+	}
+	for i := range a.PredSamples {
+		if a.PredSamples[i] != b.PredSamples[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, a.PredSamples[i], b.PredSamples[i])
+		}
+	}
+	for i := range a.EvalMixes {
+		for j := range a.EvalMixes[i].Slots {
+			if a.EvalMixes[i].Slots[j] != b.EvalMixes[i].Slots[j] {
+				t.Fatal("eval mix composition differs")
+			}
+		}
+	}
+}
+
+func TestBuildMethodErrors(t *testing.T) {
+	if _, err := buildMethod(MethodSpec{Method: MethodKind(9)}, 32, MetricIPC, nil, nil); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if _, err := buildMethod(MethodSpec{Method: MethodPrediction, Estimator: SVM}, 32, MetricIPC, nil, nil); err == nil {
+		t.Fatal("prediction without samples accepted")
+	}
+	if _, err := buildMethod(MethodSpec{Method: MethodRegression, Estimator: SVM}, 32, MetricIPC, nil,
+		map[int][]Sample{2: {{F: Features{IPC: 1}, Y: 1}}}); err == nil {
+		t.Fatal("regression with one scale model accepted")
+	}
+}
+
+func TestTrainRegressionRejectsSingleCore(t *testing.T) {
+	samples := map[int][]Sample{
+		1: {{F: Features{IPC: 1}, Y: 1}, {F: Features{IPC: 2}, Y: 2}},
+		2: {{F: Features{IPC: 1}, Y: 1}, {F: Features{IPC: 2}, Y: 2}},
+	}
+	if _, err := TrainRegression(SVM, fit.Logarithmic, InputsIPCAndBW, MetricIPC, samples, 1); err == nil {
+		t.Fatal("1-core scale model accepted in regression")
+	}
+}
+
+func TestNoExtrapolationPassthrough(t *testing.T) {
+	if got := NoExtrapolation(Features{IPC: 0.75}); got != 0.75 {
+		t.Fatalf("NoExtrapolation = %v, want 0.75", got)
+	}
+}
+
+// TestRealSimulatorSmoke exercises the full pipeline against the actual
+// simulator with tiny budgets.
+func TestRealSimulatorSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation")
+	}
+	l := NewLab(sim.Options{Instructions: 40_000, Warmup: 10_000, EpochCycles: 10_000, CapacityScale: 32, Seed: 5})
+	benches := []*trace.Profile{trace.ByName("exchange2"), trace.ByName("gcc"), trace.ByName("lbm"), trace.ByName("mcf")}
+	d, err := l.CollectHomogeneous(benches, []int{2, 4}, MetricIPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []MethodSpec{
+		{Method: MethodNoExtrapolation},
+		{Method: MethodPrediction, Estimator: DT},
+		{Method: MethodRegression, Estimator: DT, Form: fit.Logarithmic},
+	} {
+		errs, err := d.EvaluateLOO(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name(), err)
+		}
+		if len(errs) != 4 {
+			t.Fatalf("%s: %d errors", spec.Name(), len(errs))
+		}
+	}
+}
+
+func TestPredictOne(t *testing.T) {
+	l := fakeLab()
+	d, err := l.CollectHomogeneous(someBenchmarks(8), []int{2, 4}, MetricIPC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := MethodSpec{Method: MethodPrediction, Estimator: DT}
+	pred, actual, err := d.PredictOne(d.Benchmarks[3], spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred <= 0 || actual <= 0 {
+		t.Fatalf("pred %v actual %v", pred, actual)
+	}
+	if _, _, err := d.PredictOne("missing", spec); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestRegressionQueryProjection(t *testing.T) {
+	// queryFor scales CoBW into the scale model's mix-size space.
+	f := Features{IPC: 1, BW: 0.5, CoBW: 31 * 0.5}
+	q := queryFor(f, 2, 32)
+	want := 31 * 0.5 / 31.0 // (2-1)/(32-1) of the original
+	if math.Abs(q.CoBW-want) > 1e-12 {
+		t.Fatalf("projected CoBW %v, want %v", q.CoBW, want)
+	}
+	if q.IPC != f.IPC || q.BW != f.BW {
+		t.Fatal("projection must only touch CoBW")
+	}
+	if got := queryFor(f, 4, 1); got != f {
+		t.Fatal("degenerate target must be identity")
+	}
+}
+
+func TestPredictScaleModels(t *testing.T) {
+	samples := map[int][]Sample{}
+	for _, c := range []int{2, 4} {
+		for i := 0; i < 8; i++ {
+			ipc := 0.5 + 0.2*float64(i)
+			samples[c] = append(samples[c], Sample{
+				Bench: fmt.Sprintf("b%d", i),
+				F:     Features{IPC: ipc, BW: 0.1 * float64(i), CoBW: 0.3 * float64(i)},
+				Y:     ipc * (1 - 0.05*float64(c)),
+			})
+		}
+	}
+	r, err := TrainRegression(DT, fit.Logarithmic, InputsIPCAndBW, MetricIPC, samples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores := r.ScaleModelCores()
+	if len(cores) != 2 || cores[0] != 2 || cores[1] != 4 {
+		t.Fatalf("scale model cores %v", cores)
+	}
+	preds := r.PredictScaleModels(Features{IPC: 1.0, BW: 0.2, CoBW: 6}, 32)
+	if len(preds) != 2 || preds[2] <= 0 || preds[4] <= 0 {
+		t.Fatalf("scale-model predictions %v", preds)
+	}
+}
+
+func TestTrainPredictorRejectsBadBaseline(t *testing.T) {
+	samples := []Sample{{Bench: "x", F: Features{IPC: 0}, Y: 1}}
+	if _, err := TrainPredictor(DT, InputsIPCAndBW, MetricIPC, samples, 1); err == nil {
+		t.Fatal("zero-IPC baseline accepted")
+	}
+}
+
+func TestMetricAndInputStrings(t *testing.T) {
+	if MetricIPC.String() != "IPC" || MetricBW.String() != "bandwidth" {
+		t.Fatal("metric strings")
+	}
+	if InputsIPCAndBW.String() != "IPC+BW" || InputsIPCOnly.String() != "IPC-only" {
+		t.Fatal("input strings")
+	}
+	for _, k := range Kinds() {
+		if k.String() == "" {
+			t.Fatal("empty estimator name")
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+
+	"scalesim/internal/config"
+	"scalesim/internal/trace"
+)
+
+func TestDebugCPI(t *testing.T) {
+	sm, _ := config.ScaleModel(config.Target(), 1, config.ScaleModelOptions{Policy: config.PRSFull})
+	for _, name := range []string{"exchange2", "leela", "gcc", "lbm", "mcf", "milc"} {
+		res, err := Run(sm, Homogeneous(trace.ByName(name), 1), fastOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := res.Cores[0]
+		t.Logf("%-10s IPC %.3f CPI %.3f base %.3f branch %.3f mem %.3f fe %.3f | L1D %.1f L2 %.1f LLC %.2f MPKI | bw %.3f B/c mispred %.4f\n",
+			name, c.IPC, 1/c.IPC,
+			c.BaseCycles/float64(c.Instructions), c.BranchCycles/float64(c.Instructions),
+			c.MemoryCycles/float64(c.Instructions), c.FrontendCycles/float64(c.Instructions),
+			c.L1DMPKI, c.L2MPKI, c.LLCMPKI, c.BWBytesPerCycle, c.BranchMispredictRate)
+	}
+}
+
+// TestDebugCalibration prints the Fig-3-style construction table for the
+// whole suite when run with -v (manual calibration aid).
+func TestDebugCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration table")
+	}
+	opts := fastOpts()
+	target := config.Target()
+	t.Logf("%-11s %7s %7s %7s | %7s %7s | %6s %6s\n",
+		"bench", "NRS1", "PRS1", "tgt32", "errNRS", "errPRS", "MPKI1", "BW1")
+	for _, p := range trace.Suite() {
+		nrsCfg, _ := config.ScaleModel(target, 1, config.ScaleModelOptions{Policy: config.NRS})
+		prsCfg, _ := config.ScaleModel(target, 1, config.ScaleModelOptions{Policy: config.PRSFull})
+		nrs, err := Run(nrsCfg, Homogeneous(p, 1), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prs, err := Run(prsCfg, Homogeneous(p, 1), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tgt, err := Run(target, Homogeneous(p, 32), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual := tgt.AverageIPC()
+		abs := func(x float64) float64 {
+			if x < 0 {
+				return -x
+			}
+			return x
+		}
+		t.Logf("%-11s %7.3f %7.3f %7.3f | %6.1f%% %6.1f%% | %6.2f %6.3f\n",
+			p.Name, nrs.Cores[0].IPC, prs.Cores[0].IPC, actual,
+			100*abs(nrs.Cores[0].IPC-actual)/actual,
+			100*abs(prs.Cores[0].IPC-actual)/actual,
+			prs.Cores[0].LLCMPKI, prs.Cores[0].BWBytesPerCycle)
+	}
+}
+
+func TestDebugTarget32(t *testing.T) {
+	for _, name := range []string{"povray", "namd", "deepsjeng", "xz", "exchange2"} {
+		res, err := Run(config.Target(), Homogeneous(trace.ByName(name), 32), fastOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := res.Cores[5]
+		t.Logf("%-10s IPC %.3f CPI %.3f base %.3f branch %.3f mem %.3f fe %.3f | L1D %.1f L2 %.1f LLC %.2f MPKI | bw %.3f B/c | dramU %.2f nocU %.2f\n",
+			name, c.IPC, 1/c.IPC,
+			c.BaseCycles/float64(c.Instructions), c.BranchCycles/float64(c.Instructions),
+			c.MemoryCycles/float64(c.Instructions), c.FrontendCycles/float64(c.Instructions),
+			c.L1DMPKI, c.L2MPKI, c.LLCMPKI, c.BWBytesPerCycle, res.DRAMUtilization, res.NoCUtilization)
+	}
+}
+
+func TestDebugLevels(t *testing.T) {
+	opts := fastOpts().normalized()
+	sm, _ := config.ScaleModel(config.Target(), 1, config.ScaleModelOptions{Policy: config.PRSFull})
+	for _, name := range []string{"povray", "exchange2", "deepsjeng"} {
+		m, err := newMachine(sm, Homogeneous(trace.ByName(name), 1), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m.cores[0].Stats.Instructions < 400000 {
+			m.cores[0].Run(opts.EpochCycles, ^uint64(0))
+			m.mesh.EndEpoch(opts.EpochCycles)
+			m.mem.EndEpoch(opts.EpochCycles)
+		}
+		ki := float64(m.cores[0].Stats.Instructions) / 1000
+		l1i, l1d, l2 := m.l1i[0].Stats, m.l1d[0].Stats, m.l2[0].Stats
+		llc := m.llc.TotalStats()
+		t.Logf("%-10s L1I acc %.0f mis %.1f | L1D acc %.0f mis %.1f wb %.1f | L2 acc %.0f mis %.1f wb %.1f | LLC acc %.1f mis %.1f wb %.1f (per KI)\n",
+			name,
+			float64(l1i.Accesses)/ki, float64(l1i.Misses)/ki,
+			float64(l1d.Accesses)/ki, float64(l1d.Misses)/ki, float64(l1d.Writebacks)/ki,
+			float64(l2.Accesses)/ki, float64(l2.Misses)/ki, float64(l2.Writebacks)/ki,
+			float64(llc.Accesses)/ki, float64(llc.Misses)/ki, float64(llc.Writebacks)/ki)
+	}
+}

@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"scalesim/internal/branch"
+	"scalesim/internal/config"
+	"scalesim/internal/cpu"
+	"scalesim/internal/trace"
+)
+
+// ParallelSpec describes a data-parallel multi-threaded run: one thread per
+// core of the machine, all executing Profile with barrier synchronisation
+// (the paper's §V-E6 outlook). The total work is fixed (strong scaling):
+// Options.Instructions instructions are split evenly across threads, so
+// running the same spec on machines of different sizes measures parallel
+// speedup.
+type ParallelSpec struct {
+	Profile *trace.ParallelProfile
+}
+
+// ThreadResult is one thread's measured statistics.
+type ThreadResult struct {
+	Thread       int
+	Instructions uint64
+	Cycles       float64
+	IPC          float64
+	// BarrierCycles counts cycles spent waiting at barriers (imbalance).
+	BarrierCycles   float64
+	Barriers        int
+	LLCMPKI         float64
+	BWBytesPerCycle float64
+}
+
+// SpeedupStack decomposes average per-thread execution cycles into the
+// bottleneck components of Eyerman et al.'s speedup stacks: what a thread's
+// time went to, as fractions summing to ~1. Comparing stacks across machine
+// sizes shows which bottleneck limits scaling.
+type SpeedupStack struct {
+	Base     float64 // useful (ILP-limited) execution
+	Branch   float64 // misprediction penalties
+	Memory   float64 // exposed memory latency (incl. queuing contention)
+	Frontend float64 // instruction-fetch stalls
+	Barrier  float64 // barrier wait (load imbalance)
+}
+
+// String renders the stack as percentages.
+func (s SpeedupStack) String() string {
+	return fmt.Sprintf("base %.0f%% | branch %.0f%% | memory %.0f%% | frontend %.0f%% | barrier %.0f%%",
+		100*s.Base, 100*s.Branch, 100*s.Memory, 100*s.Frontend, 100*s.Barrier)
+}
+
+// ParallelResult is the outcome of one multi-threaded run.
+type ParallelResult struct {
+	ConfigName string
+	Threads    []ThreadResult
+	// MakespanCycles is the time until the last thread completed its work
+	// (the parallel execution time).
+	MakespanCycles  float64
+	Stack           SpeedupStack
+	DRAMUtilization float64
+	NoCUtilization  float64
+	WallClock       time.Duration
+}
+
+// AggregateIPC returns total instructions per makespan cycle (system
+// throughput of the parallel run).
+func (r *ParallelResult) AggregateIPC() float64 {
+	if r.MakespanCycles == 0 {
+		return 0
+	}
+	var instr uint64
+	for _, t := range r.Threads {
+		instr += t.Instructions
+	}
+	return float64(instr) / r.MakespanCycles
+}
+
+// RunParallel simulates spec on cfg with one thread per core. Total work
+// (opts.Instructions) is divided across threads; barriers from the profile
+// synchronise them; the run ends when every thread finished its share.
+func RunParallel(cfg *config.SystemConfig, spec ParallelSpec, opts Options) (*ParallelResult, error) {
+	opts = opts.normalized()
+	start := time.Now()
+	if spec.Profile == nil {
+		return nil, fmt.Errorf("sim: nil parallel profile")
+	}
+	if err := spec.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	threads := cfg.Cores
+
+	// Build the machine manually: thread generators share an address space.
+	wl := Homogeneous(&spec.Profile.Serial, threads) // placeholder for sizing
+	m, err := newMachine(cfg, wl, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < threads; i++ {
+		gen, err := trace.NewThreadGenerator(spec.Profile, i, threads, trace.GenOptions{
+			CapacityScale: opts.CapacityScale,
+			Seed:          opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		core, err := cpu.New(i, cfg.Core, gen, branch.NewTournament(), m)
+		if err != nil {
+			return nil, err
+		}
+		m.cores[i] = core
+	}
+
+	// Per-thread work shares (strong scaling), with the profile's skew.
+	perThread := opts.Instructions / uint64(threads)
+	if perThread < 1000 {
+		perThread = 1000
+	}
+	warmPerThread := opts.Warmup / uint64(threads)
+	if warmPerThread < 500 {
+		warmPerThread = 500
+	}
+	interval := spec.Profile.BarrierInterval
+	work := make([]uint64, threads)        // measured budget per thread
+	barrierStep := make([]uint64, threads) // instructions between barriers
+	for t := 0; t < threads; t++ {
+		if interval > 0 {
+			// Every thread passes the same number of barriers; skew makes
+			// the work between consecutive barriers differ per thread.
+			steps := (perThread + interval/2) / interval
+			if steps < 1 {
+				steps = 1
+			}
+			barrierStep[t] = spec.Profile.ThreadBudget(t, threads)
+			work[t] = steps * barrierStep[t]
+		} else {
+			work[t] = perThread
+		}
+	}
+
+	// Warmup (no barriers), then reset statistics.
+	for {
+		allWarm := true
+		for _, c := range m.cores {
+			c.Run(opts.EpochCycles, ^uint64(0))
+			if c.Stats.Instructions < warmPerThread {
+				allWarm = false
+			}
+		}
+		m.endEpoch(opts.EpochCycles)
+		if allWarm {
+			break
+		}
+	}
+	snaps := make([]snapshot, threads)
+	for i, c := range m.cores {
+		c.ResetStats()
+		snaps[i] = snapshot{llcMisses: m.llcCoreMisses(i), dramBytes: m.mem.CoreBytes(i)}
+	}
+
+	// Measured phase with barrier synchronisation.
+	barrierWait := make([]float64, threads)
+	barriers := make([]int, threads)
+	nextBarrier := make([]uint64, threads)
+	done := make([]bool, threads)
+	for t := range nextBarrier {
+		if interval > 0 {
+			nextBarrier[t] = barrierStep[t]
+		} else {
+			nextBarrier[t] = work[t]
+		}
+	}
+	for {
+		for t, c := range m.cores {
+			if done[t] {
+				continue
+			}
+			limit := nextBarrier[t]
+			if limit > work[t] {
+				limit = work[t]
+			}
+			c.Run(opts.EpochCycles, limit)
+		}
+		m.endEpoch(opts.EpochCycles)
+
+		// Barrier release: when every unfinished thread has reached its
+		// pending boundary, synchronise clocks and charge the wait.
+		if everyoneBlocked(m.cores, nextBarrier, work, done) {
+			release := 0.0
+			for t, c := range m.cores {
+				if !done[t] && c.Stats.Cycles > release {
+					release = c.Stats.Cycles
+				}
+			}
+			for t, c := range m.cores {
+				if done[t] {
+					continue
+				}
+				if wait := release - c.Stats.Cycles; wait > 0 {
+					c.Stats.Cycles = release
+					barrierWait[t] += wait
+				}
+				barriers[t]++
+				if c.Stats.Instructions >= work[t] {
+					done[t] = true
+					continue
+				}
+				nextBarrier[t] += barrierStep[t]
+				if interval == 0 {
+					nextBarrier[t] = work[t]
+				}
+			}
+		}
+		complete := true
+		for t := range done {
+			if !done[t] {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			break
+		}
+	}
+
+	res := &ParallelResult{
+		ConfigName:      cfg.Name,
+		DRAMUtilization: m.mem.Utilization(),
+		NoCUtilization:  m.mesh.Utilization(),
+	}
+	var stack SpeedupStack
+	totalCycles := 0.0
+	for t, c := range m.cores {
+		st := c.Stats
+		ki := float64(st.Instructions) / 1000
+		llcMisses := m.llcCoreMisses(t) - snaps[t].llcMisses
+		cycles := st.Cycles
+		if cycles > res.MakespanCycles {
+			res.MakespanCycles = cycles
+		}
+		res.Threads = append(res.Threads, ThreadResult{
+			Thread:          t,
+			Instructions:    st.Instructions,
+			Cycles:          cycles,
+			IPC:             st.IPC(),
+			BarrierCycles:   barrierWait[t],
+			Barriers:        barriers[t],
+			LLCMPKI:         float64(llcMisses) / ki,
+			BWBytesPerCycle: (m.mem.CoreBytes(t) - snaps[t].dramBytes) / cycles,
+		})
+		stack.Base += st.BaseCycles
+		stack.Branch += st.BranchCycles
+		stack.Memory += st.MemoryCycles
+		stack.Frontend += st.FrontendCycles
+		stack.Barrier += barrierWait[t]
+		totalCycles += cycles
+	}
+	if totalCycles > 0 {
+		stack.Base /= totalCycles
+		stack.Branch /= totalCycles
+		stack.Memory /= totalCycles
+		stack.Frontend /= totalCycles
+		stack.Barrier /= totalCycles
+	}
+	res.Stack = stack
+	res.WallClock = time.Since(start)
+	return res, nil
+}
+
+// atBarrier reports whether the core has consumed its pending boundary.
+func atBarrier(c *cpu.Core, limit uint64) bool {
+	return c.Stats.Instructions >= limit
+}
+
+// everyoneBlocked reports whether every unfinished thread has reached its
+// pending barrier boundary (or its end of work).
+func everyoneBlocked(cores []*cpu.Core, next []uint64, work []uint64, done []bool) bool {
+	for t, c := range cores {
+		if done[t] {
+			continue
+		}
+		limit := next[t]
+		if limit > work[t] {
+			limit = work[t]
+		}
+		if c.Stats.Instructions < limit {
+			return false
+		}
+	}
+	return true
+}

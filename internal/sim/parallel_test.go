@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"scalesim/internal/config"
+	"scalesim/internal/trace"
+)
+
+func parOpts() Options {
+	return Options{
+		Instructions:  400_000, // total work, split across threads
+		Warmup:        80_000,
+		EpochCycles:   10_000,
+		CapacityScale: 16,
+		Seed:          11,
+	}
+}
+
+func TestParallelSuiteValid(t *testing.T) {
+	suite := trace.ParallelSuite()
+	if len(suite) < 4 {
+		t.Fatalf("parallel suite has %d workloads", len(suite))
+	}
+	for _, p := range suite {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Serial.Name, err)
+		}
+	}
+	if trace.ParallelByName("par.stream") == nil {
+		t.Fatal("ParallelByName(par.stream) = nil")
+	}
+	if trace.ParallelByName("nope") != nil {
+		t.Fatal("ParallelByName(nope) != nil")
+	}
+}
+
+func TestThreadGeneratorPartitionsStreams(t *testing.T) {
+	pp := trace.ParallelByName("par.stream")
+	g0, err := trace.NewThreadGenerator(pp, 0, 4, trace.GenOptions{Seed: 1, CapacityScale: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := trace.NewThreadGenerator(pp, 1, 4, trace.GenOptions{Seed: 1, CapacityScale: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream (Seq) addresses of different threads must be disjoint; the
+	// private hot region must also be disjoint.
+	seen0 := map[uint64]bool{}
+	for i := 0; i < 200000; i++ {
+		op := g0.Next()
+		if op.Kind == trace.OpLoad || op.Kind == trace.OpStore {
+			seen0[op.Addr>>12] = true // page granularity
+		}
+	}
+	overlap := 0
+	total := 0
+	for i := 0; i < 200000; i++ {
+		op := g1.Next()
+		if op.Kind == trace.OpLoad || op.Kind == trace.OpStore {
+			total++
+			if seen0[op.Addr>>12] {
+				overlap++
+			}
+		}
+	}
+	// par.stream has a private hot region (66%) and a partitioned stream
+	// (34%): overlap should be tiny (only page-boundary effects).
+	if frac := float64(overlap) / float64(total); frac > 0.02 {
+		t.Fatalf("thread page overlap %.3f for partitioned+private workload, want ~0", frac)
+	}
+}
+
+func TestThreadGeneratorSharesTables(t *testing.T) {
+	pp := trace.ParallelByName("par.tablescan")
+	g0, _ := trace.NewThreadGenerator(pp, 0, 4, trace.GenOptions{Seed: 1, CapacityScale: 16})
+	g1, _ := trace.NewThreadGenerator(pp, 1, 4, trace.GenOptions{Seed: 1, CapacityScale: 16})
+	seen0 := map[uint64]bool{}
+	for i := 0; i < 300000; i++ {
+		if op := g0.Next(); op.Kind == trace.OpLoad {
+			seen0[op.Addr>>12] = true
+		}
+	}
+	overlap, total := 0, 0
+	for i := 0; i < 300000; i++ {
+		if op := g1.Next(); op.Kind == trace.OpLoad {
+			total++
+			if seen0[op.Addr>>12] {
+				overlap++
+			}
+		}
+	}
+	// The shared hot table (22% of accesses) must produce real overlap.
+	if frac := float64(overlap) / float64(total); frac < 0.1 {
+		t.Fatalf("thread page overlap %.3f for shared-table workload, want >= 0.1", frac)
+	}
+}
+
+func TestThreadGeneratorRejectsBadArgs(t *testing.T) {
+	pp := trace.ParallelByName("par.stream")
+	if _, err := trace.NewThreadGenerator(pp, 4, 4, trace.GenOptions{}); err == nil {
+		t.Fatal("thread index == threads accepted")
+	}
+	if _, err := trace.NewThreadGenerator(pp, -1, 4, trace.GenOptions{}); err == nil {
+		t.Fatal("negative thread accepted")
+	}
+	bad := *pp
+	bad.PrivateRegions = []bool{true}
+	if _, err := trace.NewThreadGenerator(&bad, 0, 2, trace.GenOptions{}); err == nil {
+		t.Fatal("mismatched private flags accepted")
+	}
+}
+
+func TestRunParallelBasics(t *testing.T) {
+	cfg, err := config.ScaleModel(config.Target(), 4, config.ScaleModelOptions{Policy: config.PRSFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunParallel(cfg, ParallelSpec{Profile: trace.ParallelByName("par.stencil")}, parOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Threads) != 4 {
+		t.Fatalf("%d threads, want 4", len(res.Threads))
+	}
+	for _, th := range res.Threads {
+		if th.Instructions < 50_000 {
+			t.Errorf("thread %d retired only %d", th.Thread, th.Instructions)
+		}
+		if th.IPC <= 0 || th.IPC > 4 {
+			t.Errorf("thread %d IPC %.3f out of range", th.Thread, th.IPC)
+		}
+		if th.Barriers == 0 {
+			t.Errorf("thread %d crossed no barriers", th.Thread)
+		}
+	}
+	if res.MakespanCycles <= 0 {
+		t.Fatal("no makespan")
+	}
+	sum := res.Stack.Base + res.Stack.Branch + res.Stack.Memory + res.Stack.Frontend + res.Stack.Barrier
+	if math.Abs(sum-1) > 0.05 {
+		t.Fatalf("speedup stack sums to %.3f, want ~1 (%+v)", sum, res.Stack)
+	}
+}
+
+func TestRunParallelStrongScaling(t *testing.T) {
+	// More threads must raise aggregate throughput for the same workload
+	// (strong scaling), bounded by the thread count.
+	throughput := func(name string, cores int) float64 {
+		cfg := config.Target()
+		if cores != 32 {
+			var err error
+			cfg, err = config.ScaleModel(config.Target(), cores, config.ScaleModelOptions{Policy: config.PRSFull})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := RunParallel(cfg, ParallelSpec{Profile: trace.ParallelByName(name)}, parOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AggregateIPC()
+	}
+	for _, name := range []string{"par.stream", "par.stencil"} {
+		p1 := throughput(name, 1)
+		p4 := throughput(name, 4)
+		speedup := p4 / p1
+		if speedup <= 1 {
+			t.Errorf("%s: no speedup from 4 threads (%.2f)", name, speedup)
+		}
+		if speedup > 4.3 {
+			t.Errorf("%s: impossible speedup %.2f with 4 threads", name, speedup)
+		}
+	}
+}
+
+func TestRunParallelSkewShowsImbalance(t *testing.T) {
+	cfg, err := config.ScaleModel(config.Target(), 4, config.ScaleModelOptions{Policy: config.PRSFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced, err := RunParallel(cfg, ParallelSpec{Profile: trace.ParallelByName("par.stencil")}, parOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := RunParallel(cfg, ParallelSpec{Profile: trace.ParallelByName("par.graph")}, parOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewed.Stack.Barrier <= balanced.Stack.Barrier {
+		t.Fatalf("skewed workload barrier share %.3f not above balanced %.3f",
+			skewed.Stack.Barrier, balanced.Stack.Barrier)
+	}
+}
+
+func TestRunParallelDeterministic(t *testing.T) {
+	cfg, _ := config.ScaleModel(config.Target(), 2, config.ScaleModelOptions{Policy: config.PRSFull})
+	run := func() *ParallelResult {
+		res, err := RunParallel(cfg, ParallelSpec{Profile: trace.ParallelByName("par.tablescan")}, parOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.MakespanCycles != b.MakespanCycles {
+		t.Fatalf("non-deterministic makespan: %.0f vs %.0f", a.MakespanCycles, b.MakespanCycles)
+	}
+	for i := range a.Threads {
+		if a.Threads[i].IPC != b.Threads[i].IPC {
+			t.Fatalf("thread %d IPC differs", i)
+		}
+	}
+}
+
+func TestRunParallelErrors(t *testing.T) {
+	cfg, _ := config.ScaleModel(config.Target(), 2, config.ScaleModelOptions{Policy: config.PRSFull})
+	if _, err := RunParallel(cfg, ParallelSpec{}, parOpts()); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+	bad := config.Target()
+	bad.Cores = 0
+	if _, err := RunParallel(bad, ParallelSpec{Profile: trace.ParallelByName("par.stream")}, parOpts()); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,590 @@
+// Package sim is the multicore simulator: it co-executes a multiprogram
+// workload mix on a configured machine, one trace-driven out-of-order core
+// per program, against structurally simulated private caches, a shared NUCA
+// LLC, a mesh NoC and a multi-controller DRAM subsystem.
+//
+// # Contention model
+//
+// Simulation proceeds in fixed-length epochs. Within an epoch each core
+// executes instructions against the shared structures (so LLC capacity
+// contention is emergent from interleaved LRU state), while NoC and DRAM
+// queue delays are taken from the previous epoch's measured utilization. At
+// each epoch boundary the utilizations are refreshed from the traffic just
+// accounted. This closes the feedback loop {IPC -> bandwidth demand ->
+// queuing delay -> IPC} as a relaxed fixed-point iteration across epochs —
+// the same abstraction-level trick interval simulators such as Sniper use,
+// and the reason a 32-core simulation costs super-linearly more than a
+// single-core one: more shared-state work per epoch and a longer
+// convergence transient.
+//
+// # Termination
+//
+// Following the paper (§IV-2), a run warms all cores up, resets statistics,
+// and then measures until the first program retires its instruction budget.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"scalesim/internal/branch"
+	"scalesim/internal/cache"
+	"scalesim/internal/config"
+	"scalesim/internal/cpu"
+	"scalesim/internal/dram"
+	"scalesim/internal/noc"
+	"scalesim/internal/trace"
+)
+
+// Options controls a simulation run.
+type Options struct {
+	// Instructions is the measured instruction budget per program: the run
+	// ends when the first program retires this many post-warmup
+	// instructions (the paper's 1B-instruction SimPoint, capacity-scaled).
+	Instructions uint64
+	// Warmup instructions per program before statistics are reset.
+	Warmup uint64
+	// EpochCycles is the contention feedback epoch length.
+	EpochCycles float64
+	// CapacityScale divides all cache capacities and workload footprints
+	// (the global miniaturisation documented in DESIGN.md).
+	CapacityScale int
+	// Seed is the experiment-level base seed.
+	Seed uint64
+
+	// Ablations (DESIGN.md "Key design decisions"; default off = full model).
+	//
+	// NoFeedback disables the epoch fixed-point: NoC and DRAM queue delays
+	// stay at their unloaded values regardless of measured traffic, so
+	// bandwidth contention never throttles anything.
+	NoFeedback bool
+	// PartitionedLLC replaces the shared NUCA LLC with an analytic
+	// equal-split partition: each core gets a private 1/N-capacity slice,
+	// so no program can steal capacity from (or donate it to) another.
+	PartitionedLLC bool
+	// EnablePrefetch adds a per-core L2 stream/stride prefetcher. Off by
+	// default (the paper's Sniper configuration does not mention one);
+	// turning it on is a robustness study for the methodology: prefetches
+	// change both isolated performance and bandwidth contention.
+	EnablePrefetch bool
+}
+
+// DefaultOptions returns the options used by the experiment suite.
+func DefaultOptions() Options {
+	return Options{
+		Instructions:  1_000_000,
+		Warmup:        250_000,
+		EpochCycles:   20_000,
+		CapacityScale: 8,
+		Seed:          1,
+	}
+}
+
+// normalized fills in zero fields with defaults.
+func (o Options) normalized() Options {
+	d := DefaultOptions()
+	if o.Instructions == 0 {
+		o.Instructions = d.Instructions
+	}
+	if o.Warmup == 0 {
+		o.Warmup = d.Warmup
+	}
+	if o.EpochCycles == 0 {
+		o.EpochCycles = d.EpochCycles
+	}
+	if o.CapacityScale == 0 {
+		o.CapacityScale = d.CapacityScale
+	}
+	return o
+}
+
+// Workload is a multiprogram mix: one benchmark profile per core.
+type Workload struct {
+	Profiles []*trace.Profile
+}
+
+// Homogeneous builds a mix of cores copies of prof.
+func Homogeneous(prof *trace.Profile, cores int) Workload {
+	ps := make([]*trace.Profile, cores)
+	for i := range ps {
+		ps[i] = prof
+	}
+	return Workload{Profiles: ps}
+}
+
+// CoreResult holds the measured statistics of one program/core.
+type CoreResult struct {
+	Core      int
+	Benchmark string
+
+	Instructions uint64
+	Cycles       float64
+	IPC          float64
+
+	// BWBytesPerCycle is the program's DRAM traffic (reads + writebacks) in
+	// bytes per cycle. BWShare is the same value as a fraction of the
+	// machine's total DRAM bandwidth — the BW feature the ML models use.
+	BWBytesPerCycle float64
+	BWShare         float64
+
+	// Miss statistics (per kilo-instruction for MPKI values).
+	L1DMPKI   float64
+	L2MPKI    float64
+	LLCMPKI   float64
+	LLCMisses uint64
+
+	BranchMispredictRate float64
+
+	// Stall decomposition from the core model.
+	BaseCycles, BranchCycles, MemoryCycles, FrontendCycles float64
+}
+
+// Result holds one simulation run's outcome.
+type Result struct {
+	ConfigName string
+	Cores      []CoreResult
+
+	// ElapsedCycles is the measured-phase length in core cycles.
+	ElapsedCycles float64
+	// DRAMUtilization and NoCUtilization are end-of-run smoothed values.
+	DRAMUtilization float64
+	NoCUtilization  float64
+	// WallClock is the host time spent simulating (warmup + measure),
+	// used by the speedup experiments.
+	WallClock time.Duration
+}
+
+// machine implements cpu.MemSystem over the simulated memory hierarchy.
+type machine struct {
+	cfg   *config.SystemConfig
+	l1i   []*cache.Level
+	l1d   []*cache.Level
+	l2    []*cache.Level
+	llc   *cache.NUCA
+	mesh  *noc.Mesh
+	mem   *dram.Memory
+	cores []*cpu.Core
+
+	// part, when non-nil, replaces the shared LLC with per-core private
+	// partitions (the PartitionedLLC ablation).
+	part []*cache.Level
+
+	// noFeedback suppresses the epoch utilization updates (the NoFeedback
+	// ablation).
+	noFeedback bool
+
+	// pf holds per-core L2 stream prefetchers when enabled.
+	pf []*cache.StridePrefetcher
+
+	l1Time, l2Time, llcTime float64
+}
+
+// prefetch issues the prefetcher's candidates for a demand L2 miss: each
+// candidate is brought into the L2 in the background, consuming LLC/DRAM
+// bandwidth but adding no latency to the triggering access.
+func (m *machine) prefetch(core int, addr uint64) {
+	if m.pf == nil {
+		return
+	}
+	for _, pa := range m.pf[core].OnMiss(addr) {
+		if m.l2[core].Probe(pa) {
+			continue
+		}
+		slice, hit := m.llcAccess(core, pa, false)
+		m.mesh.Latency(core, slice, reqBytes)
+		if !hit {
+			m.mesh.Latency(slice, m.mesh.MCTile(m.mem.MCOf(pa), m.mem.Controllers()), reqBytes)
+			m.mem.Access(core, pa, 64, false)
+			if victim, vdirty, evicted := m.llcFill(core, pa, false); evicted && vdirty {
+				m.mem.Access(core, victim, 64, true)
+			}
+		}
+		m.fillL2(core, pa, false)
+	}
+}
+
+// endEpoch refreshes the contention estimates unless feedback is ablated.
+func (m *machine) endEpoch(cycles float64) {
+	if m.noFeedback {
+		return
+	}
+	m.mesh.EndEpoch(cycles)
+	m.mem.EndEpoch(cycles)
+}
+
+// llcAccess routes an LLC lookup to the shared NUCA or, under the
+// PartitionedLLC ablation, to the requester's private partition (home slice
+// = own tile, so the NoC path degenerates to zero hops).
+func (m *machine) llcAccess(core int, addr uint64, write bool) (slice int, hit bool) {
+	if m.part != nil {
+		return core, m.part[core].Access(addr, write)
+	}
+	return m.llc.Access(core, addr, write)
+}
+
+// llcFill allocates addr after a miss, returning any dirty victim.
+func (m *machine) llcFill(core int, addr uint64, dirty bool) (victimAddr uint64, victimDirty, evicted bool) {
+	if m.part != nil {
+		return m.part[core].Fill(addr, dirty)
+	}
+	return m.llc.Fill(core, addr, dirty)
+}
+
+// llcSliceOf returns the home tile for addr from core's perspective.
+func (m *machine) llcSliceOf(core int, addr uint64) int {
+	if m.part != nil {
+		return core
+	}
+	return m.llc.SliceOf(addr)
+}
+
+// llcProbe reports presence without disturbing state.
+func (m *machine) llcProbe(core int, addr uint64) bool {
+	if m.part != nil {
+		return m.part[core].Probe(addr)
+	}
+	return m.llc.Probe(addr)
+}
+
+// llcCoreMisses returns the demand misses attributed to core.
+func (m *machine) llcCoreMisses(core int) uint64 {
+	if m.part != nil {
+		return m.part[core].Stats.Misses
+	}
+	return m.llc.CoreStats(core).Misses
+}
+
+// reqBytes is the NoC cost of a request+response pair for one cache line
+// (8-byte request header + 64-byte data).
+const reqBytes = 72
+
+func newMachine(cfg *config.SystemConfig, wl Workload, opts Options) (*machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(wl.Profiles) != cfg.Cores {
+		return nil, fmt.Errorf("sim: workload has %d programs for %d cores", len(wl.Profiles), cfg.Cores)
+	}
+	m := &machine{
+		cfg:        cfg,
+		noFeedback: opts.NoFeedback,
+		l1Time:     float64(cfg.L1D.AccessTime),
+		l2Time:     float64(cfg.L2.AccessTime),
+		llcTime:    float64(cfg.LLC.AccessTime),
+	}
+	if opts.EnablePrefetch {
+		for i := 0; i < cfg.Cores; i++ {
+			m.pf = append(m.pf, cache.NewStridePrefetcher(int(cfg.L2.LineSize)))
+		}
+	}
+	if opts.PartitionedLLC {
+		slice := config.CacheLevelConfig{
+			Size: cfg.LLC.SlicePerCore, Assoc: cfg.LLC.Assoc,
+			LineSize: cfg.LLC.LineSize, AccessTime: cfg.LLC.AccessTime,
+		}
+		for i := 0; i < cfg.Cores; i++ {
+			p, err := cache.NewLevel(slice, opts.CapacityScale)
+			if err != nil {
+				return nil, err
+			}
+			m.part = append(m.part, p)
+		}
+	}
+	var err error
+	if m.llc, err = cache.NewNUCA(cfg.LLC, opts.CapacityScale, cfg.Cores); err != nil {
+		return nil, err
+	}
+	if m.mesh, err = noc.New(cfg.NoC, cfg.Core.FrequencyGHz); err != nil {
+		return nil, err
+	}
+	if m.mem, err = dram.New(cfg.DRAM, cfg.Core.FrequencyGHz, cfg.Cores); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		// The L1-I stays at native size: code footprints are not
+		// miniaturised (see trace.NewGenerator), so scaling the L1-I would
+		// thrash it on every benchmark and flood the L2/NoC with
+		// instruction traffic no real machine produces.
+		l1i, err := cache.NewLevel(cfg.L1I, 1)
+		if err != nil {
+			return nil, err
+		}
+		l1d, err := cache.NewLevel(cfg.L1D, opts.CapacityScale)
+		if err != nil {
+			return nil, err
+		}
+		l2, err := cache.NewLevel(cfg.L2, opts.CapacityScale)
+		if err != nil {
+			return nil, err
+		}
+		m.l1i = append(m.l1i, l1i)
+		m.l1d = append(m.l1d, l1d)
+		m.l2 = append(m.l2, l2)
+
+		gen, err := trace.NewGenerator(wl.Profiles[i], trace.GenOptions{
+			Instance:      i,
+			CapacityScale: opts.CapacityScale,
+			Seed:          opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		core, err := cpu.New(i, cfg.Core, gen, branch.NewTournament(), m)
+		if err != nil {
+			return nil, err
+		}
+		m.cores = append(m.cores, core)
+	}
+	return m, nil
+}
+
+// resolve serves a data access that missed in l1 for core at addr, filling
+// the hierarchy on its way back. It returns the total added latency beyond
+// L1 and the serving level.
+func (m *machine) resolve(core int, addr uint64, dirtyFill bool) cpu.MemResult {
+	// L2 lookup.
+	if m.l2[core].Access(addr, false) {
+		m.fillL1(core, addr, dirtyFill)
+		return cpu.MemResult{Latency: m.l1Time + m.l2Time, Level: cpu.LevelL2}
+	}
+	// Demand L2 miss: train the prefetcher (if any) before going out.
+	m.prefetch(core, addr)
+	// LLC lookup via the NoC: core tile -> home slice tile.
+	slice, hit := m.llcAccess(core, addr, false)
+	nocLat := m.mesh.Latency(core, slice, reqBytes)
+	lat := m.l1Time + m.l2Time + m.llcTime + nocLat
+	if hit {
+		m.fillL2(core, addr, false)
+		m.fillL1(core, addr, dirtyFill)
+		return cpu.MemResult{Latency: lat, Level: cpu.LevelLLC}
+	}
+	// DRAM access: home slice tile -> memory controller tile.
+	mc := m.mem.MCOf(addr)
+	mcTile := m.mesh.MCTile(mc, m.mem.Controllers())
+	lat += m.mesh.Latency(slice, mcTile, reqBytes)
+	lat += m.mem.Access(core, addr, 64, false)
+	// Fill the hierarchy; LLC victims write back to DRAM.
+	if victim, vdirty, evicted := m.llcFill(core, addr, false); evicted && vdirty {
+		vmc := m.mem.MCOf(victim)
+		m.mesh.Latency(m.llcSliceOf(core, victim), m.mesh.MCTile(vmc, m.mem.Controllers()), reqBytes)
+		m.mem.Access(core, victim, 64, true)
+	}
+	m.fillL2(core, addr, false)
+	m.fillL1(core, addr, dirtyFill)
+	return cpu.MemResult{Latency: lat, Level: cpu.LevelDRAM}
+}
+
+// fillL1 allocates addr in core's L1-D; dirty victims write through to L2.
+func (m *machine) fillL1(core int, addr uint64, dirty bool) {
+	victim, vdirty, evicted := m.l1d[core].Fill(addr, dirty)
+	if evicted && vdirty {
+		m.writebackToL2(core, victim)
+	}
+}
+
+// fillL2 allocates addr in core's L2; dirty victims write to the LLC.
+func (m *machine) fillL2(core int, addr uint64, dirty bool) {
+	victim, vdirty, evicted := m.l2[core].Fill(addr, dirty)
+	if evicted && vdirty {
+		m.writebackToLLC(core, victim)
+	}
+}
+
+// writebackToL2 handles a dirty L1-D victim. Writebacks never allocate on a
+// miss (no-allocate policy): if the line is gone from the L2 it is forwarded
+// down the hierarchy. Allocating would recall evicted lines and amplify one
+// eviction into a cascade of fills.
+func (m *machine) writebackToL2(core int, addr uint64) {
+	if m.l2[core].Probe(addr) {
+		m.l2[core].Access(addr, true)
+		return
+	}
+	m.writebackToLLC(core, addr)
+}
+
+// writebackToLLC handles a dirty L2 victim: merge into the LLC if present,
+// otherwise bypass straight to DRAM (bandwidth only; writes are posted).
+func (m *machine) writebackToLLC(core int, addr uint64) {
+	slice := m.llcSliceOf(core, addr)
+	m.mesh.Latency(core, slice, reqBytes)
+	if m.llcProbe(core, addr) {
+		m.llcAccess(core, addr, true)
+		return
+	}
+	m.mesh.Latency(slice, m.mesh.MCTile(m.mem.MCOf(addr), m.mem.Controllers()), reqBytes)
+	m.mem.Access(core, addr, 64, true)
+}
+
+// Load implements cpu.MemSystem.
+func (m *machine) Load(core int, addr uint64) cpu.MemResult {
+	if m.l1d[core].Access(addr, false) {
+		return cpu.MemResult{Latency: m.l1Time, Level: cpu.LevelL1}
+	}
+	return m.resolve(core, addr, false)
+}
+
+// Store implements cpu.MemSystem (write-allocate).
+func (m *machine) Store(core int, addr uint64) cpu.MemResult {
+	if m.l1d[core].Access(addr, true) {
+		return cpu.MemResult{Latency: m.l1Time, Level: cpu.LevelL1}
+	}
+	return m.resolve(core, addr, true)
+}
+
+// IFetch implements cpu.MemSystem. Sequential fetches are covered by the
+// next-line prefetcher: they keep the hierarchy state warm and consume
+// bandwidth but never stall. Non-sequential fetches (jump targets) stall
+// the front end for their full latency beyond the pipelined L1-I access.
+func (m *machine) IFetch(core int, addr uint64, jump bool) float64 {
+	if m.l1i[core].Access(addr, false) {
+		return 0
+	}
+	// Instruction lines are clean; reuse the data path read logic against
+	// L2/LLC/DRAM but fill the L1-I instead of the L1-D.
+	if m.l2[core].Access(addr, false) {
+		m.l1i[core].Fill(addr, false)
+		if !jump {
+			return 0
+		}
+		return m.l2Time
+	}
+	slice, hit := m.llcAccess(core, addr, false)
+	nocLat := m.mesh.Latency(core, slice, reqBytes)
+	lat := m.l2Time + m.llcTime + nocLat
+	if !hit {
+		mc := m.mem.MCOf(addr)
+		lat += m.mesh.Latency(slice, m.mesh.MCTile(mc, m.mem.Controllers()), reqBytes)
+		lat += m.mem.Access(core, addr, 64, false)
+		if victim, vdirty, evicted := m.llcFill(core, addr, false); evicted && vdirty {
+			m.mem.Access(core, victim, 64, true)
+		}
+	}
+	m.fillL2(core, addr, false)
+	m.l1i[core].Fill(addr, false)
+	if !jump {
+		return 0 // hidden by the next-line prefetcher
+	}
+	return lat
+}
+
+// snapshot captures per-core cumulative counters at the measurement start.
+type snapshot struct {
+	l1d, l2   cache.Stats
+	llcMisses uint64
+	dramBytes float64
+}
+
+// Run simulates workload wl on machine cfg and returns measured per-core
+// results. The run is deterministic for fixed (cfg, wl, opts).
+func Run(cfg *config.SystemConfig, wl Workload, opts Options) (*Result, error) {
+	opts = opts.normalized()
+	start := time.Now()
+	m, err := newMachine(cfg, wl, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1 — warmup: run epochs until every program has retired its
+	// warmup budget. Programs that finish early keep running (they must
+	// keep generating contention).
+	for {
+		allWarm := true
+		for _, c := range m.cores {
+			c.Run(opts.EpochCycles, ^uint64(0))
+			if c.Stats.Instructions < opts.Warmup {
+				allWarm = false
+			}
+		}
+		m.endEpoch(opts.EpochCycles)
+		if allWarm {
+			break
+		}
+	}
+
+	// Reset statistics at the measurement boundary; microarchitectural
+	// state (cache contents, predictor tables, utilization estimates,
+	// generator positions) carries over.
+	snaps := make([]snapshot, cfg.Cores)
+	for i, c := range m.cores {
+		c.ResetStats()
+		snaps[i] = snapshot{
+			l1d:       m.l1d[i].Stats,
+			l2:        m.l2[i].Stats,
+			llcMisses: m.llcCoreMisses(i),
+			dramBytes: m.mem.CoreBytes(i),
+		}
+	}
+
+	// Phase 2 — measure: epochs until the first program retires its budget.
+	elapsed := 0.0
+	for {
+		done := false
+		for _, c := range m.cores {
+			c.Run(opts.EpochCycles, ^uint64(0))
+			if c.Stats.Instructions >= opts.Instructions {
+				done = true
+			}
+		}
+		m.endEpoch(opts.EpochCycles)
+		elapsed += opts.EpochCycles
+		if done {
+			break
+		}
+	}
+
+	totalBWBytesPerCycle := float64(cfg.DRAM.TotalGBps()) / cfg.Core.FrequencyGHz
+	res := &Result{
+		ConfigName:      cfg.Name,
+		ElapsedCycles:   elapsed,
+		DRAMUtilization: m.mem.Utilization(),
+		NoCUtilization:  m.mesh.Utilization(),
+	}
+	for i, c := range m.cores {
+		st := c.Stats
+		ki := float64(st.Instructions) / 1000
+		llcMisses := m.llcCoreMisses(i) - snaps[i].llcMisses
+		bwBytes := m.mem.CoreBytes(i) - snaps[i].dramBytes
+		cycles := st.Cycles
+		if cycles == 0 {
+			cycles = 1
+		}
+		cr := CoreResult{
+			Core:                 i,
+			Benchmark:            wl.Profiles[i].Name,
+			Instructions:         st.Instructions,
+			Cycles:               st.Cycles,
+			IPC:                  st.IPC(),
+			BWBytesPerCycle:      bwBytes / cycles,
+			BWShare:              (bwBytes / cycles) / totalBWBytesPerCycle,
+			L1DMPKI:              float64(m.l1d[i].Stats.Misses-snaps[i].l1d.Misses) / ki,
+			L2MPKI:               float64(m.l2[i].Stats.Misses-snaps[i].l2.Misses) / ki,
+			LLCMPKI:              float64(llcMisses) / ki,
+			LLCMisses:            llcMisses,
+			BranchMispredictRate: st.Branch.MispredictRate(),
+			BaseCycles:           st.BaseCycles,
+			BranchCycles:         st.BranchCycles,
+			MemoryCycles:         st.MemoryCycles,
+			FrontendCycles:       st.FrontendCycles,
+		}
+		res.Cores = append(res.Cores, cr)
+	}
+	res.WallClock = time.Since(start)
+	return res, nil
+}
+
+// SystemIPC returns the sum of per-core IPC values.
+func (r *Result) SystemIPC() float64 {
+	sum := 0.0
+	for _, c := range r.Cores {
+		sum += c.IPC
+	}
+	return sum
+}
+
+// AverageIPC returns the mean per-core IPC.
+func (r *Result) AverageIPC() float64 {
+	if len(r.Cores) == 0 {
+		return 0
+	}
+	return r.SystemIPC() / float64(len(r.Cores))
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"testing"
+
+	"scalesim/internal/config"
+)
+
+func TestParallelProfileValidate(t *testing.T) {
+	good := ParallelByName("par.stream")
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *good
+	bad.Skew = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("skew > 1 accepted")
+	}
+	bad = *good
+	bad.PrivateRegions = []bool{true}
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched private flags accepted")
+	}
+	bad = *good
+	bad.Serial.BaseCPI = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid serial profile accepted")
+	}
+}
+
+func TestThreadBudgetSkew(t *testing.T) {
+	p := &ParallelProfile{
+		Serial:          *ByName("gcc"),
+		BarrierInterval: 100_000,
+		Skew:            0.4,
+	}
+	b0 := p.ThreadBudget(0, 4)
+	b3 := p.ThreadBudget(3, 4)
+	if b0 >= b3 {
+		t.Fatalf("thread 0 budget %d >= thread 3 budget %d with positive skew", b0, b3)
+	}
+	// Mean across threads stays near the interval.
+	var sum uint64
+	for t := 0; t < 4; t++ {
+		sum += p.ThreadBudget(t, 4)
+	}
+	mean := sum / 4
+	if mean < 95_000 || mean > 105_000 {
+		t.Fatalf("mean thread budget %d, want ~100k", mean)
+	}
+	// No skew / single thread: exactly the interval.
+	p.Skew = 0
+	if p.ThreadBudget(2, 4) != 100_000 {
+		t.Fatal("unskewed budget != interval")
+	}
+	if p.ThreadBudget(0, 1) != 100_000 {
+		t.Fatal("single-thread budget != interval")
+	}
+	p.BarrierInterval = 0
+	if p.ThreadBudget(0, 4) != 0 {
+		t.Fatal("budget without barriers != 0")
+	}
+}
+
+func TestThreadGeneratorSharedSeqPartitionSizes(t *testing.T) {
+	pp := &ParallelProfile{
+		Serial: Profile{
+			Name: "partest", BaseCPI: 0.5, LoadsPerKI: 400, StoresPerKI: 0,
+			BranchesPerKI: 0, MLP: 4, StaticBranches: 1,
+			Regions:    []Region{{Size: 64 * config.MB, Frac: 1, Pattern: Seq, ElemSize: 8}},
+			IFootprint: 64 * config.KB,
+		},
+		BarrierInterval: 10_000,
+	}
+	// Each of 4 threads must stay within its quarter of the region.
+	for th := 0; th < 4; th++ {
+		g, err := NewThreadGenerator(pp, th, 4, GenOptions{Seed: 3, CapacityScale: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lo, hi uint64
+		first := true
+		for i := 0; i < 100000; i++ {
+			op := g.Next()
+			if op.Kind != OpLoad {
+				continue
+			}
+			if first || op.Addr < lo {
+				lo = op.Addr
+			}
+			if first || op.Addr > hi {
+				hi = op.Addr
+			}
+			first = false
+		}
+		span := hi - lo
+		part := uint64(64*config.MB) / 8 / 4 // scaled region / threads
+		if span > part {
+			t.Fatalf("thread %d spans %d bytes, partition is %d", th, span, part)
+		}
+	}
+}
+
+func TestThreadGeneratorsDeterministic(t *testing.T) {
+	pp := ParallelByName("par.graph")
+	mk := func() *Generator {
+		g, err := NewThreadGenerator(pp, 2, 8, GenOptions{Seed: 9, CapacityScale: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 30000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("thread streams diverged at %d", i)
+		}
+	}
+}
+
+func TestParallelSuiteNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range ParallelSuite() {
+		if seen[p.Serial.Name] {
+			t.Fatalf("duplicate parallel workload %q", p.Serial.Name)
+		}
+		seen[p.Serial.Name] = true
+	}
+}

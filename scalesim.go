@@ -1,0 +1,410 @@
+// Package scalesim is an open-source implementation of scale-model
+// architectural simulation (Liu, Heirman, Eyerman, Akram, Eeckhout —
+// ISPASS 2022): predicting large multicore system performance by simulating
+// a proportionally scaled-down model of the target system and extrapolating
+// with machine learning.
+//
+// The package bundles everything the methodology needs, built from scratch
+// on the standard library:
+//
+//   - a trace-driven multicore simulator (out-of-order cores, three-level
+//     cache hierarchy with a shared NUCA LLC, mesh NoC, multi-controller
+//     DRAM with emergent bandwidth contention),
+//   - a 29-benchmark synthetic workload suite spanning compute-bound to
+//     bandwidth-saturating behaviour,
+//   - scale-model construction (No Resource Scaling and Proportional
+//     Resource Scaling, with MC-first/MB-first DRAM scaling),
+//   - ML extrapolation (CART decision tree, random forest, RBF-kernel SVR)
+//     and least-squares performance/core-count regression,
+//   - experiment drivers regenerating every table and figure in the paper.
+//
+// # Quick start
+//
+//	ex, _ := scalesim.NewExperiments(scalesim.FastOptions())
+//	pred, _ := ex.PredictTargetIPC("mcf")        // from a 1-core scale model
+//	fmt.Printf("predicted 32-core IPC: %.3f\n", pred)
+//
+// See the examples/ directory for complete programs and DESIGN.md for the
+// architecture and the paper-to-module map.
+package scalesim
+
+import (
+	"fmt"
+
+	"scalesim/internal/config"
+	"scalesim/internal/sim"
+	"scalesim/internal/trace"
+)
+
+// SimOptions controls simulation fidelity and cost. The zero value of any
+// field selects the default.
+type SimOptions struct {
+	// Instructions is the measured per-program instruction budget (the
+	// paper's 1B-instruction SimPoint, capacity-scaled). Default 1e6.
+	Instructions uint64
+	// Warmup instructions per program before measurement. Default 250k.
+	Warmup uint64
+	// EpochCycles is the contention-feedback epoch. Default 20k.
+	EpochCycles float64
+	// CapacityScale divides cache capacities and workload footprints
+	// (see DESIGN.md, "Capacity scaling"). Default 8.
+	CapacityScale int
+	// Seed makes every run reproducible. Default 1.
+	Seed uint64
+	// EnablePrefetch adds a per-core L2 stream/stride prefetcher (off in
+	// the paper's baseline configuration).
+	EnablePrefetch bool
+	// NoFeedback and PartitionedLLC are contention-model ablations; see
+	// DESIGN.md "Key design decisions".
+	NoFeedback     bool
+	PartitionedLLC bool
+}
+
+// DefaultOptions returns the full-fidelity experiment options used for
+// EXPERIMENTS.md.
+func DefaultOptions() SimOptions {
+	d := sim.DefaultOptions()
+	return SimOptions{
+		Instructions:  d.Instructions,
+		Warmup:        d.Warmup,
+		EpochCycles:   d.EpochCycles,
+		CapacityScale: d.CapacityScale,
+		Seed:          d.Seed,
+	}
+}
+
+// FastOptions returns reduced-budget options: every qualitative conclusion
+// survives, at roughly a tenth of the simulation cost. Used by the examples
+// and quick CLI runs.
+func FastOptions() SimOptions {
+	return SimOptions{
+		Instructions:  200_000,
+		Warmup:        60_000,
+		EpochCycles:   10_000,
+		CapacityScale: 16,
+		Seed:          1,
+	}
+}
+
+func (o SimOptions) internal() sim.Options {
+	return sim.Options{
+		Instructions:   o.Instructions,
+		Warmup:         o.Warmup,
+		EpochCycles:    o.EpochCycles,
+		CapacityScale:  o.CapacityScale,
+		Seed:           o.Seed,
+		EnablePrefetch: o.EnablePrefetch,
+		NoFeedback:     o.NoFeedback,
+		PartitionedLLC: o.PartitionedLLC,
+	}
+}
+
+// Pattern names accepted in Region.Pattern.
+const (
+	PatternSeq   = "seq"
+	PatternRand  = "rand"
+	PatternZipf  = "zipf"
+	PatternChase = "chase"
+)
+
+// Region describes one memory region of a synthetic benchmark profile.
+type Region struct {
+	SizeBytes int64   // nominal footprint
+	Frac      float64 // fraction of memory accesses
+	Pattern   string  // "seq", "rand", "zipf" or "chase"
+	ElemSize  int     // seq element size in bytes (0 = 8)
+	ZipfS     float64 // zipf skew (0 = 0.8)
+}
+
+// Profile is a synthetic benchmark description (see the package
+// documentation of internal/trace for the modelling rationale).
+type Profile struct {
+	Name           string
+	BaseCPI        float64
+	LoadsPerKI     int
+	StoresPerKI    int
+	BranchesPerKI  int
+	MLP            float64
+	StaticBranches int
+	HardBranchFrac float64
+	CodeBytes      int64
+	Regions        []Region
+}
+
+func patternFromName(name string) (trace.Pattern, error) {
+	switch name {
+	case PatternSeq:
+		return trace.Seq, nil
+	case PatternRand:
+		return trace.Rand, nil
+	case PatternZipf:
+		return trace.Zipf, nil
+	case PatternChase:
+		return trace.Chase, nil
+	default:
+		return 0, fmt.Errorf("scalesim: unknown region pattern %q", name)
+	}
+}
+
+func (p Profile) internal() (*trace.Profile, error) {
+	tp := &trace.Profile{
+		Name:           p.Name,
+		BaseCPI:        p.BaseCPI,
+		LoadsPerKI:     p.LoadsPerKI,
+		StoresPerKI:    p.StoresPerKI,
+		BranchesPerKI:  p.BranchesPerKI,
+		MLP:            p.MLP,
+		StaticBranches: p.StaticBranches,
+		HardFrac:       p.HardBranchFrac,
+		IFootprint:     config.Bytes(p.CodeBytes),
+	}
+	for _, r := range p.Regions {
+		pat, err := patternFromName(r.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		tp.Regions = append(tp.Regions, trace.Region{
+			Size:     config.Bytes(r.SizeBytes),
+			Frac:     r.Frac,
+			Pattern:  pat,
+			ElemSize: r.ElemSize,
+			ZipfS:    r.ZipfS,
+		})
+	}
+	if err := tp.Validate(); err != nil {
+		return nil, err
+	}
+	return tp, nil
+}
+
+func profileFromInternal(tp *trace.Profile) Profile {
+	p := Profile{
+		Name:           tp.Name,
+		BaseCPI:        tp.BaseCPI,
+		LoadsPerKI:     tp.LoadsPerKI,
+		StoresPerKI:    tp.StoresPerKI,
+		BranchesPerKI:  tp.BranchesPerKI,
+		MLP:            tp.MLP,
+		StaticBranches: tp.StaticBranches,
+		HardBranchFrac: tp.HardFrac,
+		CodeBytes:      int64(tp.IFootprint),
+	}
+	for _, r := range tp.Regions {
+		p.Regions = append(p.Regions, Region{
+			SizeBytes: int64(r.Size),
+			Frac:      r.Frac,
+			Pattern:   r.Pattern.String(),
+			ElemSize:  r.ElemSize,
+			ZipfS:     r.ZipfS,
+		})
+	}
+	return p
+}
+
+// Suite returns the 29-benchmark workload suite.
+func Suite() []Profile {
+	suite := trace.Suite()
+	out := make([]Profile, len(suite))
+	for i, p := range suite {
+		out[i] = profileFromInternal(p)
+	}
+	return out
+}
+
+// BenchmarkNames returns the suite benchmark names.
+func BenchmarkNames() []string { return trace.Names() }
+
+// Scaling policy names accepted in MachineSpec.Policy.
+const (
+	PolicyTarget  = "target"   // the full 32-core Table II system
+	PolicyNRS     = "NRS"      // no resource scaling
+	PolicyPRS     = "PRS"      // proportional scaling of LLC+NoC+DRAM
+	PolicyPRSLLC  = "PRS-LLC"  // scale LLC capacity only
+	PolicyPRSDRAM = "PRS-DRAM" // scale DRAM bandwidth only
+)
+
+// Bandwidth scaling order names accepted in MachineSpec.Bandwidth.
+const (
+	BandwidthMCFirst = "MC-first"
+	BandwidthMBFirst = "MB-first"
+)
+
+// MachineSpec selects a machine: the target system, a scale model, or a
+// custom design point.
+type MachineSpec struct {
+	// Cores is the machine size (ignored for PolicyTarget). Must divide
+	// the target's 32 cores: 1, 2, 4, 8, 16 or 32.
+	Cores int
+	// Policy is one of the Policy* constants ("" = PRS).
+	Policy string
+	// Bandwidth is one of the Bandwidth* constants ("" = MC-first).
+	Bandwidth string
+
+	// Design-space knobs (0 = PRS default). Setting any of these builds a
+	// custom machine instead of a paper configuration.
+	LLCPerCoreKB    int     // per-core LLC slice in KB (power-of-two sets required)
+	DRAMPerCoreGBps float64 // DRAM bandwidth per core
+	NoCPerCoreGBps  float64 // NoC bisection bandwidth per core
+}
+
+func (m MachineSpec) internal() (*config.SystemConfig, error) {
+	if m.LLCPerCoreKB != 0 || m.DRAMPerCoreGBps != 0 || m.NoCPerCoreGBps != 0 {
+		var bw config.BandwidthScaling
+		if m.Bandwidth == BandwidthMBFirst {
+			bw = config.MBFirst
+		}
+		return config.CustomSystem(m.Cores, config.CustomOptions{
+			LLCSlicePerCore: config.Bytes(m.LLCPerCoreKB) * config.KB,
+			DRAMPerCoreGBps: config.GBps(m.DRAMPerCoreGBps),
+			NoCPerCoreGBps:  config.GBps(m.NoCPerCoreGBps),
+			Bandwidth:       bw,
+		})
+	}
+	if m.Policy == PolicyTarget || m.Policy == "" && m.Cores == 32 {
+		return config.Target(), nil
+	}
+	var pol config.ScalingPolicy
+	switch m.Policy {
+	case PolicyPRS, "":
+		pol = config.PRSFull
+	case PolicyNRS:
+		pol = config.NRS
+	case PolicyPRSLLC:
+		pol = config.PRSLLCOnly
+	case PolicyPRSDRAM:
+		pol = config.PRSDRAMOnly
+	default:
+		return nil, fmt.Errorf("scalesim: unknown scaling policy %q", m.Policy)
+	}
+	var bw config.BandwidthScaling
+	switch m.Bandwidth {
+	case BandwidthMCFirst, "":
+		bw = config.MCFirst
+	case BandwidthMBFirst:
+		bw = config.MBFirst
+	default:
+		return nil, fmt.Errorf("scalesim: unknown bandwidth scaling %q", m.Bandwidth)
+	}
+	return config.ScaleModel(config.Target(), m.Cores, config.ScaleModelOptions{Policy: pol, Bandwidth: bw})
+}
+
+// CoreResult is the measured outcome of one program in a simulation.
+type CoreResult struct {
+	Core                 int
+	Benchmark            string
+	Instructions         uint64
+	IPC                  float64
+	BWBytesPerCycle      float64
+	LLCMPKI              float64
+	BranchMispredictRate float64
+}
+
+// SimResult is a simulation run's outcome.
+type SimResult struct {
+	Machine         string
+	Cores           []CoreResult
+	DRAMUtilization float64
+	NoCUtilization  float64
+	WallClockSec    float64
+}
+
+// AverageIPC returns the mean per-core IPC.
+func (r *SimResult) AverageIPC() float64 {
+	if len(r.Cores) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range r.Cores {
+		sum += c.IPC
+	}
+	return sum / float64(len(r.Cores))
+}
+
+// Simulate runs the named benchmarks (one per core; repeat a name for
+// multiple copies) on the machine described by spec. Custom profiles can be
+// passed via extra; they take precedence over suite names.
+func Simulate(spec MachineSpec, benchmarks []string, opts SimOptions, extra ...Profile) (*SimResult, error) {
+	cfg, err := spec.internal()
+	if err != nil {
+		return nil, err
+	}
+	custom := map[string]*trace.Profile{}
+	for _, p := range extra {
+		tp, err := p.internal()
+		if err != nil {
+			return nil, err
+		}
+		custom[p.Name] = tp
+	}
+	wl := sim.Workload{}
+	for _, name := range benchmarks {
+		tp := custom[name]
+		if tp == nil {
+			tp = trace.ByName(name)
+		}
+		if tp == nil {
+			return nil, fmt.Errorf("scalesim: unknown benchmark %q", name)
+		}
+		wl.Profiles = append(wl.Profiles, tp)
+	}
+	res, err := sim.Run(cfg, wl, opts.internal())
+	if err != nil {
+		return nil, err
+	}
+	return resultFromInternal(res), nil
+}
+
+func resultFromInternal(res *sim.Result) *SimResult {
+	out := &SimResult{
+		Machine:         res.ConfigName,
+		DRAMUtilization: res.DRAMUtilization,
+		NoCUtilization:  res.NoCUtilization,
+		WallClockSec:    res.WallClock.Seconds(),
+	}
+	for _, c := range res.Cores {
+		out.Cores = append(out.Cores, CoreResult{
+			Core:                 c.Core,
+			Benchmark:            c.Benchmark,
+			Instructions:         c.Instructions,
+			IPC:                  c.IPC,
+			BWBytesPerCycle:      c.BWBytesPerCycle,
+			LLCMPKI:              c.LLCMPKI,
+			BranchMispredictRate: c.BranchMispredictRate,
+		})
+	}
+	return out
+}
+
+// TableIRow is one row of the paper's Table I (scale-model construction).
+type TableIRow struct {
+	Cores      int
+	LLC        string
+	NoC        string
+	DRAM       string
+	Underlying config.TableIRow `json:"-"`
+}
+
+// TableI reproduces the paper's Table I for the given bandwidth order
+// ("MC-first" or "MB-first"; "" = MC-first).
+func TableI(bandwidth string) ([]TableIRow, error) {
+	var bw config.BandwidthScaling
+	switch bandwidth {
+	case BandwidthMCFirst, "":
+		bw = config.MCFirst
+	case BandwidthMBFirst:
+		bw = config.MBFirst
+	default:
+		return nil, fmt.Errorf("scalesim: unknown bandwidth scaling %q", bandwidth)
+	}
+	var out []TableIRow
+	for _, r := range config.TableI(bw) {
+		out = append(out, TableIRow{
+			Cores:      r.Cores,
+			LLC:        fmt.Sprintf("%v: %d slices", r.LLCSize, r.LLCSlices),
+			NoC:        fmt.Sprintf("%v: %d CSLs, %v per CSL", r.NoCGBps, r.CSLs, r.PerCSLGBps),
+			DRAM:       fmt.Sprintf("%v: %d MCs, %v per MC", r.DRAMGBps, r.MCs, r.PerMCGBps),
+			Underlying: r,
+		})
+	}
+	return out, nil
+}

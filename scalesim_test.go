@@ -1,0 +1,430 @@
+package scalesim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps root-level pipeline tests fast; the benches use
+// DefaultOptions for the paper-fidelity numbers.
+func tinyOptions() SimOptions {
+	return SimOptions{
+		Instructions:  60_000,
+		Warmup:        20_000,
+		EpochCycles:   10_000,
+		CapacityScale: 32,
+		Seed:          3,
+	}
+}
+
+func subsetNames() []string {
+	return []string{"exchange2", "leela", "gcc", "xalancbmk", "omnetpp", "bwaves", "mcf", "lbm", "milc"}
+}
+
+func TestTableI(t *testing.T) {
+	rows, err := TableI(BandwidthMCFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	if rows[0].Cores != 32 || !strings.Contains(rows[0].LLC, "32 MB") {
+		t.Fatalf("row 0 = %+v", rows[0])
+	}
+	if rows[5].Cores != 1 || !strings.Contains(rows[5].DRAM, "1 MCs") {
+		t.Fatalf("row 5 = %+v", rows[5])
+	}
+	if _, err := TableI("bogus"); err == nil {
+		t.Fatal("bogus bandwidth order accepted")
+	}
+}
+
+func TestSuiteAccessors(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 29 {
+		t.Fatalf("suite length %d, want 29", len(suite))
+	}
+	names := BenchmarkNames()
+	if len(names) != 29 {
+		t.Fatalf("names length %d", len(names))
+	}
+	for i, p := range suite {
+		if p.Name != names[i] {
+			t.Fatalf("order mismatch at %d: %s vs %s", i, p.Name, names[i])
+		}
+		if len(p.Regions) == 0 {
+			t.Fatalf("%s: no regions exposed", p.Name)
+		}
+	}
+}
+
+func TestSimulatePublicAPI(t *testing.T) {
+	res, err := Simulate(MachineSpec{Cores: 1, Policy: PolicyPRS}, []string{"gcc"}, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cores) != 1 || res.Cores[0].Benchmark != "gcc" {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if res.AverageIPC() <= 0 {
+		t.Fatal("non-positive IPC")
+	}
+	if res.WallClockSec <= 0 {
+		t.Fatal("missing wall clock")
+	}
+	if _, err := Simulate(MachineSpec{Cores: 1}, []string{"nope"}, tinyOptions()); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := Simulate(MachineSpec{Cores: 3}, []string{"gcc", "gcc", "gcc"}, tinyOptions()); err == nil {
+		t.Fatal("invalid core count accepted")
+	}
+	if _, err := Simulate(MachineSpec{Cores: 1, Policy: "bogus"}, []string{"gcc"}, tinyOptions()); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+func TestSimulateCustomProfile(t *testing.T) {
+	custom := Profile{
+		Name: "mystream", BaseCPI: 0.5, LoadsPerKI: 300, StoresPerKI: 100,
+		BranchesPerKI: 100, MLP: 6, StaticBranches: 64, HardBranchFrac: 0.1,
+		CodeBytes: 64 << 10,
+		Regions: []Region{
+			{SizeBytes: 16 << 10, Frac: 0.8, Pattern: PatternZipf, ZipfS: 1.1},
+			{SizeBytes: 64 << 20, Frac: 0.2, Pattern: PatternSeq, ElemSize: 8},
+		},
+	}
+	res, err := Simulate(MachineSpec{Cores: 2}, []string{"mystream", "gcc"}, tinyOptions(), custom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cores[0].Benchmark != "mystream" {
+		t.Fatalf("custom profile not used: %+v", res.Cores[0])
+	}
+	// Invalid custom profile must be rejected.
+	custom.Regions[0].Pattern = "wat"
+	if _, err := Simulate(MachineSpec{Cores: 1}, []string{"mystream"}, tinyOptions(), custom); err == nil {
+		t.Fatal("invalid pattern accepted")
+	}
+}
+
+func TestMachineSpecVariants(t *testing.T) {
+	for _, pol := range []string{PolicyNRS, PolicyPRS, PolicyPRSLLC, PolicyPRSDRAM} {
+		if _, err := Simulate(MachineSpec{Cores: 1, Policy: pol}, []string{"exchange2"}, tinyOptions()); err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+	}
+	if _, err := Simulate(MachineSpec{Cores: 2, Bandwidth: BandwidthMBFirst}, []string{"lbm", "lbm"}, tinyOptions()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExperimentsSubsetValidation(t *testing.T) {
+	if _, err := NewExperimentsSubset(tinyOptions(), "gcc"); err == nil {
+		t.Fatal("2-benchmark suite accepted")
+	}
+	if _, err := NewExperimentsSubset(tinyOptions(), "gcc", "lbm", "nothere"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestFig3OrderingOnSubset(t *testing.T) {
+	ex, err := NewExperimentsSubset(tinyOptions(), subsetNames()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig3, err := ex.Fig3Construction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig3.Methods) != 4 {
+		t.Fatalf("%d policies, want 4", len(fig3.Methods))
+	}
+	byName := map[string]MethodResult{}
+	for _, m := range fig3.Methods {
+		byName[m.Method] = m
+	}
+	// The paper's headline ordering: full PRS is the most accurate
+	// construction, NRS the worst.
+	if byName["PRS"].Mean >= byName["NRS"].Mean {
+		t.Errorf("PRS mean %.3f not below NRS mean %.3f", byName["PRS"].Mean, byName["NRS"].Mean)
+	}
+	if s := fig3.String(); !strings.Contains(s, "NRS") || !strings.Contains(s, "per-benchmark") {
+		t.Errorf("figure rendering incomplete:\n%s", s)
+	}
+}
+
+func TestFig4AndDerivativesOnSubset(t *testing.T) {
+	ex, err := NewExperimentsSubset(tinyOptions(), subsetNames()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig4, err := ex.Fig4Homogeneous()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig4.Methods) != 7 {
+		t.Fatalf("%d methods, want 7", len(fig4.Methods))
+	}
+	for _, m := range fig4.Methods {
+		if math.IsNaN(m.Mean) || m.Mean < 0 {
+			t.Errorf("%s: invalid mean %v", m.Method, m.Mean)
+		}
+		if len(m.PerBench) != len(subsetNames()) {
+			t.Errorf("%s: %d per-bench errors", m.Method, len(m.PerBench))
+		}
+	}
+
+	// These figures reuse the same collected data (no new simulations
+	// beyond what Fig. 4 ran).
+	runsBefore := ex.Runs()
+	if _, err := ex.Fig9RegressionForms(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Fig10Inputs(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Fig11ScaleModelCount(); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Runs() != runsBefore {
+		t.Errorf("figures 9-11 ran %d extra simulations; they must reuse Fig. 4 data", ex.Runs()-runsBefore)
+	}
+
+	fig7, err := ex.Fig7ErrorVsSpeedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig7.NoExtrapolation) != 5 || len(fig7.ML) != 2 {
+		t.Fatalf("fig7 points %d/%d, want 5/2", len(fig7.NoExtrapolation), len(fig7.ML))
+	}
+	// The single-core scale model must be the fastest.
+	last := fig7.NoExtrapolation[len(fig7.NoExtrapolation)-1]
+	if last.Label != "1-core" {
+		t.Fatalf("last no-extrap point is %s, want 1-core", last.Label)
+	}
+	for _, p := range fig7.NoExtrapolation[:len(fig7.NoExtrapolation)-1] {
+		if p.Speedup >= last.Speedup {
+			t.Errorf("%s speedup %.1f >= 1-core speedup %.1f", p.Label, p.Speedup, last.Speedup)
+		}
+	}
+
+	rows, err := ex.SimulationTimeStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d sim-time rows", len(rows))
+	}
+	if rows[0].Cores != 1 || rows[5].Cores != 32 {
+		t.Fatalf("unexpected row order %+v", rows)
+	}
+	if rows[5].TotalSecs <= rows[0].TotalSecs {
+		t.Errorf("32-core sim (%.3fs) not slower than 1-core (%.3fs)", rows[5].TotalSecs, rows[0].TotalSecs)
+	}
+
+	pred, err := ex.PredictTargetIPC("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual, err := ex.ActualTargetIPC("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred <= 0 || actual <= 0 {
+		t.Fatalf("non-positive pred %v / actual %v", pred, actual)
+	}
+	if _, err := ex.PredictTargetIPC("nothere"); err == nil {
+		t.Fatal("unknown benchmark accepted by PredictTargetIPC")
+	}
+}
+
+func TestFig12OnSubset(t *testing.T) {
+	ex, err := NewExperimentsSubset(tinyOptions(), subsetNames()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig12, err := ex.Fig12Bandwidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig12.Methods) != 7 {
+		t.Fatalf("%d methods, want 7", len(fig12.Methods))
+	}
+}
+
+func TestHeterogeneousFiguresOnSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heterogeneous collection is the most expensive test")
+	}
+	ex, err := NewExperimentsSubset(tinyOptions(), subsetNames()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig5, err := ex.Fig5Heterogeneous()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig5.Methods) != 7 {
+		t.Fatalf("%d methods, want 7", len(fig5.Methods))
+	}
+	fig6, err := ex.Fig6STP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig6.Methods) != 3 {
+		t.Fatalf("%d STP methods, want 3", len(fig6.Methods))
+	}
+	for _, m := range fig6.Methods {
+		if len(m.Sorted) != fig6.Mixes {
+			t.Errorf("%s: %d sorted errors, want %d", m.Method, len(m.Sorted), fig6.Mixes)
+		}
+		if !strings.Contains(fig6.String(), m.Method) {
+			t.Errorf("STP rendering missing %s", m.Method)
+		}
+	}
+}
+
+func TestFastAndDefaultOptionDefaults(t *testing.T) {
+	d := DefaultOptions()
+	if d.Instructions == 0 || d.Warmup == 0 || d.CapacityScale == 0 {
+		t.Fatalf("default options empty: %+v", d)
+	}
+	f := FastOptions()
+	if f.Instructions >= d.Instructions {
+		t.Fatal("FastOptions not faster than DefaultOptions")
+	}
+}
+
+func TestSimulateParallelPublicAPI(t *testing.T) {
+	names := ParallelBenchmarkNames()
+	if len(names) < 4 {
+		t.Fatalf("parallel suite %v", names)
+	}
+	res, err := SimulateParallel(MachineSpec{Cores: 2}, "par.stencil", tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads != 2 || res.AggregateIPC <= 0 || res.MakespanCycles <= 0 {
+		t.Fatalf("bad parallel result %+v", res)
+	}
+	sum := res.Stack.Base + res.Stack.Branch + res.Stack.Memory + res.Stack.Frontend + res.Stack.Barrier
+	if sum < 0.9 || sum > 1.1 {
+		t.Fatalf("stack sums to %.3f: %s", sum, res.Stack)
+	}
+	if _, err := SimulateParallel(MachineSpec{Cores: 2}, "nope", tinyOptions()); err == nil {
+		t.Fatal("unknown parallel workload accepted")
+	}
+}
+
+func TestExtMultithreadedOnTinyBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the 32-core target for each parallel workload")
+	}
+	ex, err := NewExperimentsSubset(tinyOptions(), subsetNames()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.ExtMultithreaded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workloads) != 4 {
+		t.Fatalf("%d workloads", len(res.Workloads))
+	}
+	for _, w := range res.Workloads {
+		if w.Actual32 <= 0 || w.Predicted32 <= 0 {
+			t.Errorf("%s: bad throughputs %+v", w.Workload, w)
+		}
+		// Strong scaling: 32 threads must beat 1 thread.
+		if w.ThroughputAt[32] <= w.ThroughputAt[1] {
+			t.Errorf("%s: no scaling: %v", w.Workload, w.ThroughputAt)
+		}
+	}
+	if !strings.Contains(res.String(), "par.stream") {
+		t.Error("rendering missing workloads")
+	}
+}
+
+func TestAblationsShowMechanismsMatter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three model variants over the subset suite")
+	}
+	ex, err := NewExperimentsSubset(tinyOptions(), subsetNames()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d ablation rows", len(res.Rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range res.Rows {
+		byName[r.Variant] = r
+	}
+	full := byName["full model"]
+	noFB := byName["no bandwidth feedback"]
+	// Without the bandwidth fixed point there is (almost) no contention:
+	// the NRS error collapses, i.e. the mechanism is load-bearing.
+	if noFB.NRSMean >= full.NRSMean*0.8 {
+		t.Errorf("no-feedback NRS err %.3f not well below full-model %.3f; feedback not load-bearing?",
+			noFB.NRSMean, full.NRSMean)
+	}
+	if !strings.Contains(res.String(), "partitioned LLC") {
+		t.Error("rendering missing variants")
+	}
+}
+
+func TestPrefetchStudyOnSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two homogeneous collections")
+	}
+	ex, err := NewExperimentsSubset(tinyOptions(), subsetNames()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.PrefetchStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(subsetNames()) {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	foundSpeedup := false
+	for _, row := range res.Rows {
+		if row.IPCOn > row.IPCOff*1.02 {
+			foundSpeedup = true
+		}
+		if row.IPCOn == 0 || row.IPCOff == 0 {
+			t.Errorf("%s: missing variant data %+v", row.Benchmark, row)
+		}
+	}
+	if !foundSpeedup {
+		t.Error("prefetcher helped no benchmark at all")
+	}
+	if !strings.Contains(res.String(), "prefetcher") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestCustomMachineSpec(t *testing.T) {
+	res, err := Simulate(MachineSpec{Cores: 1, LLCPerCoreKB: 2048}, []string{"xalancbmk"}, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Simulate(MachineSpec{Cores: 1}, []string{"xalancbmk"}, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doubling the capacity-sensitive benchmark's LLC must help it.
+	if res.Cores[0].IPC <= base.Cores[0].IPC {
+		t.Errorf("2 MB LLC IPC %.3f not above 1 MB IPC %.3f", res.Cores[0].IPC, base.Cores[0].IPC)
+	}
+	if _, err := Simulate(MachineSpec{Cores: 1, LLCPerCoreKB: 3000}, []string{"gcc"}, tinyOptions()); err == nil {
+		t.Error("invalid custom LLC accepted")
+	}
+}
