@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test check race bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Full tier-1 verification: everything must build and every test pass.
+test: build
+	$(GO) test ./...
+
+# Fast CI gate: vet + the race detector over the short test set (the
+# expensive collections are guarded by testing.Short). Run this before
+# every commit.
+check: build
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
+
+# Race detector over the full test set (slow).
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -timeout=2h ./...
+
+clean:
+	$(GO) clean ./...

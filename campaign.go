@@ -1,0 +1,165 @@
+package scalesim
+
+import (
+	"context"
+
+	"scalesim/internal/metrics"
+	"scalesim/internal/runner"
+)
+
+// CampaignJob is one design point of a campaign: a machine, a benchmark
+// mix (one name per core), the simulation options, and optional custom
+// profiles resolved by name before the suite.
+type CampaignJob struct {
+	Machine    MachineSpec
+	Benchmarks []string
+	Options    SimOptions
+	Extra      []Profile
+}
+
+// Campaign is a batch of simulation jobs to execute on a worker pool with
+// content-addressed memoization: jobs describing the same design point
+// (identical machine, workload and options, seed included) simulate exactly
+// once, however often they recur in the batch.
+type Campaign struct {
+	// Jobs are the design points, in the order results are returned.
+	Jobs []CampaignJob
+	// Workers is the worker-pool size (<= 0 selects GOMAXPROCS). Results
+	// are bit-identical for any worker count — only wall-clock changes.
+	Workers int
+	// OnProgress, when non-nil, is invoked serially after each job
+	// completes (successfully, from cache, or with an error).
+	OnProgress func(CampaignProgress)
+}
+
+// CampaignProgress is one campaign progress event.
+type CampaignProgress struct {
+	// Job is the submission-order index of the job that just finished.
+	Job int
+	// Completed and Total track overall campaign progress.
+	Completed int
+	Total     int
+	// CacheHit reports whether the job was served from the memo cache.
+	CacheHit bool
+	// Err is the job's error, if it failed.
+	Err error
+}
+
+// JobOutcome is one job's result: either a simulation result or an error,
+// plus whether the memo cache served it.
+type JobOutcome struct {
+	// Job is the submission-order index into Campaign.Jobs.
+	Job int
+	// Result is the simulation outcome (nil when Err is set).
+	Result *SimResult
+	// Err is the job's failure, if any. A panicking simulation surfaces
+	// here (after the engine's retry) without affecting other jobs.
+	Err error
+	// CacheHit reports whether an earlier identical job supplied Result.
+	CacheHit bool
+}
+
+// CampaignStats aggregates a campaign's execution counters.
+type CampaignStats struct {
+	Jobs         int // jobs submitted
+	UniqueRuns   int // simulator invocations (cache misses)
+	CacheHits    int // jobs served from the memo cache
+	PanicRetries int // panics recovered and retried
+	Failures     int // jobs that ended in an error
+}
+
+// HitRate returns the fraction of jobs served from the cache.
+func (s CampaignStats) HitRate() float64 {
+	return metrics.CampaignStats(s).HitRate()
+}
+
+// String renders the stats as a one-line report.
+func (s CampaignStats) String() string {
+	return metrics.CampaignStats(s).String()
+}
+
+// CampaignResult is a completed campaign: outcomes in submission order plus
+// the engine's counters.
+type CampaignResult struct {
+	Outcomes []JobOutcome
+	Stats    CampaignStats
+}
+
+// Errs returns the failed outcomes (empty when every job succeeded).
+func (r *CampaignResult) Errs() []JobOutcome {
+	var out []JobOutcome
+	for _, o := range r.Outcomes {
+		if o.Err != nil {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// RunCampaign executes the campaign's jobs on a bounded worker pool and
+// returns their outcomes in submission order. Duplicated design points
+// simulate once; each simulation is deterministic, so results are
+// bit-identical to a sequential (Workers: 1) run apart from the measured
+// wall-clock. Per-job failures — including invalid specs and recovered
+// panics — are reported in the outcomes without aborting the batch.
+//
+// Cancelling ctx stops feeding jobs and aborts in-flight simulations at
+// their next epoch boundary; RunCampaign then returns ctx.Err() alongside
+// the partial outcomes (jobs cut short carry the context error).
+func RunCampaign(ctx context.Context, c Campaign) (*CampaignResult, error) {
+	eng := runner.New(c.Workers)
+	jobs := make([]runner.Job, len(c.Jobs))
+	errs := make([]error, len(c.Jobs))
+	for i, cj := range c.Jobs {
+		cfg, wl, err := buildRun(cj.Machine, cj.Benchmarks, cj.Extra)
+		if err != nil {
+			// Invalid job: fails in its outcome without entering the batch.
+			errs[i] = err
+			continue
+		}
+		jobs[i] = runner.Job{Config: cfg, Workload: wl, Options: cj.Options.internal()}
+	}
+	// Run only the valid jobs, preserving submission indices.
+	valid := make([]runner.Job, 0, len(jobs))
+	validIdx := make([]int, 0, len(jobs))
+	for i := range jobs {
+		if errs[i] == nil {
+			valid = append(valid, jobs[i])
+			validIdx = append(validIdx, i)
+		}
+	}
+	var progress func(metrics.Progress)
+	if c.OnProgress != nil {
+		total := len(c.Jobs)
+		done := len(c.Jobs) - len(valid) // invalid jobs count as finished
+		progress = func(p metrics.Progress) {
+			c.OnProgress(CampaignProgress{
+				Job:       validIdx[p.Job],
+				Completed: done + p.Completed,
+				Total:     total,
+				CacheHit:  p.CacheHit,
+				Err:       p.Err,
+			})
+		}
+	}
+	outcomes, ctxErr := eng.RunBatch(ctx, valid, progress)
+
+	res := &CampaignResult{
+		Outcomes: make([]JobOutcome, len(c.Jobs)),
+		Stats:    CampaignStats(eng.Stats()),
+	}
+	for i, err := range errs {
+		res.Outcomes[i] = JobOutcome{Job: i, Err: err}
+	}
+	res.Stats.Jobs = len(c.Jobs)
+	res.Stats.Failures += len(c.Jobs) - len(valid)
+	for k, o := range outcomes {
+		i := validIdx[k]
+		out := JobOutcome{Job: i, Err: o.Err, CacheHit: o.CacheHit}
+		if o.Result != nil {
+			out.Result = resultFromInternal(o.Result)
+		}
+		res.Outcomes[i] = out
+	}
+	return res, ctxErr
+}

@@ -1,0 +1,313 @@
+package scalesim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// campaignJobs builds a campaign with duplicated design points: 4 unique
+// (benchmark, seed) points, each submitted twice.
+func campaignJobs() []CampaignJob {
+	var jobs []CampaignJob
+	for _, seed := range []uint64{3, 11} {
+		for _, bench := range []string{"gcc", "lbm"} {
+			opts := tinyOptions()
+			opts.Seed = seed
+			job := CampaignJob{
+				Machine:    MachineSpec{Cores: 1, Policy: PolicyPRS},
+				Benchmarks: []string{bench},
+				Options:    opts,
+			}
+			jobs = append(jobs, job, job) // duplicate design point
+		}
+	}
+	return jobs
+}
+
+// stripWallClock zeroes the only non-deterministic field so outcomes can be
+// compared bit-for-bit.
+func stripWallClock(r *CampaignResult) {
+	for i := range r.Outcomes {
+		if res := r.Outcomes[i].Result; res != nil {
+			res.WallClockSec = 0
+		}
+	}
+}
+
+func TestCampaignMemoizesAndPreservesOrder(t *testing.T) {
+	jobs := campaignJobs()
+	if len(jobs) < 8 {
+		t.Fatalf("campaign too small: %d jobs", len(jobs))
+	}
+	res, err := RunCampaign(context.Background(), Campaign{Jobs: jobs, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != len(jobs) {
+		t.Fatalf("%d outcomes for %d jobs", len(res.Outcomes), len(jobs))
+	}
+	for i, o := range res.Outcomes {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+		if o.Job != i {
+			t.Fatalf("outcome %d labelled job %d", i, o.Job)
+		}
+		if got := o.Result.Cores[0].Benchmark; got != jobs[i].Benchmarks[0] {
+			t.Fatalf("job %d ran %q, want %q (submission order broken)", i, got, jobs[i].Benchmarks[0])
+		}
+	}
+	s := res.Stats
+	if s.Jobs != 8 || s.UniqueRuns != 4 || s.CacheHits != 4 || s.Failures != 0 {
+		t.Fatalf("each unique design point must simulate exactly once: %+v", s)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", got)
+	}
+	// Duplicates carry bit-identical results.
+	for i := 0; i+1 < len(res.Outcomes); i += 2 {
+		a, b := *res.Outcomes[i].Result, *res.Outcomes[i+1].Result
+		a.WallClockSec, b.WallClockSec = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("jobs %d and %d describe the same point but differ", i, i+1)
+		}
+	}
+}
+
+func TestCampaignParallelBitIdenticalToSequential(t *testing.T) {
+	jobs := campaignJobs()
+	seq, err := RunCampaign(context.Background(), Campaign{Jobs: jobs, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunCampaign(context.Background(), Campaign{Jobs: jobs, Workers: runtime.NumCPU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripWallClock(seq)
+	stripWallClock(par)
+	// CacheHit attribution may differ between schedules (any of the
+	// duplicates can be the one that simulates); compare results only.
+	for i := range seq.Outcomes {
+		if !reflect.DeepEqual(seq.Outcomes[i].Result, par.Outcomes[i].Result) {
+			t.Fatalf("job %d: parallel result differs from sequential", i)
+		}
+	}
+	if seq.Stats.UniqueRuns != par.Stats.UniqueRuns {
+		t.Fatalf("unique runs differ: %d vs %d", seq.Stats.UniqueRuns, par.Stats.UniqueRuns)
+	}
+}
+
+func TestCampaignSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for a meaningful speedup, have %d", runtime.NumCPU())
+	}
+	// 8 distinct design points (seeds) so there is real parallel work.
+	var jobs []CampaignJob
+	for seed := uint64(1); seed <= 8; seed++ {
+		opts := tinyOptions()
+		opts.Seed = seed
+		jobs = append(jobs, CampaignJob{
+			Machine:    MachineSpec{Cores: 2, Policy: PolicyPRS},
+			Benchmarks: []string{"lbm", "mcf"},
+			Options:    opts,
+		})
+	}
+	t0 := time.Now()
+	if _, err := RunCampaign(context.Background(), Campaign{Jobs: jobs, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	seq := time.Since(t0)
+	t0 = time.Now()
+	if _, err := RunCampaign(context.Background(), Campaign{Jobs: jobs, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	par := time.Since(t0)
+	if speedup := seq.Seconds() / par.Seconds(); speedup < 1.5 {
+		t.Errorf("4-worker speedup %.2fx, want > 1.5x (seq %v, par %v)", speedup, seq, par)
+	}
+}
+
+func TestCampaignInvalidJobIsolated(t *testing.T) {
+	jobs := []CampaignJob{
+		{Machine: MachineSpec{Cores: 1}, Benchmarks: []string{"gcc"}, Options: tinyOptions()},
+		{Machine: MachineSpec{Cores: 1, Policy: "bogus"}, Benchmarks: []string{"gcc"}, Options: tinyOptions()},
+		{Machine: MachineSpec{Cores: 1}, Benchmarks: []string{"nothere"}, Options: tinyOptions()},
+	}
+	var progress []CampaignProgress
+	res, err := RunCampaign(context.Background(), Campaign{
+		Jobs:       jobs,
+		Workers:    2,
+		OnProgress: func(p CampaignProgress) { progress = append(progress, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcomes[0].Err != nil || res.Outcomes[0].Result == nil {
+		t.Fatalf("valid job failed: %+v", res.Outcomes[0])
+	}
+	if !errors.Is(res.Outcomes[1].Err, ErrUnknownPolicy) {
+		t.Fatalf("job 1 err %v, want ErrUnknownPolicy", res.Outcomes[1].Err)
+	}
+	if !errors.Is(res.Outcomes[2].Err, ErrUnknownBenchmark) {
+		t.Fatalf("job 2 err %v, want ErrUnknownBenchmark", res.Outcomes[2].Err)
+	}
+	if got := len(res.Errs()); got != 2 {
+		t.Fatalf("%d failed outcomes, want 2", got)
+	}
+	if res.Stats.Failures != 2 || res.Stats.Jobs != 3 {
+		t.Fatalf("stats %+v", res.Stats)
+	}
+	if len(progress) != 1 {
+		t.Fatalf("%d progress events, want 1 (only the valid job executes)", len(progress))
+	}
+	if progress[0].Completed != 3 || progress[0].Total != 3 {
+		t.Fatalf("progress %+v must account for invalid jobs", progress[0])
+	}
+}
+
+func TestSimulateContextCancellation(t *testing.T) {
+	// A big budget so the run would take far longer than the cancel delay.
+	opts := tinyOptions()
+	opts.Instructions = 50_000_000
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, err := SimulateContext(ctx, MachineSpec{Cores: 1}, []string{"lbm"}, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+func TestSimulateParallelContextCancellation(t *testing.T) {
+	opts := tinyOptions()
+	opts.Instructions = 50_000_000
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	_, err := SimulateParallelContext(ctx, MachineSpec{Cores: 2}, "par.stencil", opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+}
+
+func TestTypedEnumsValidate(t *testing.T) {
+	for _, p := range []Policy{"", PolicyTarget, PolicyNRS, PolicyPRS, PolicyPRSLLC, PolicyPRSDRAM} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("policy %q rejected: %v", p, err)
+		}
+	}
+	if err := Policy("bogus").Validate(); !errors.Is(err, ErrUnknownPolicy) {
+		t.Errorf("bogus policy: %v", err)
+	}
+	for _, b := range []Bandwidth{"", BandwidthMCFirst, BandwidthMBFirst} {
+		if err := b.Validate(); err != nil {
+			t.Errorf("bandwidth %q rejected: %v", b, err)
+		}
+	}
+	if err := Bandwidth("bogus").Validate(); !errors.Is(err, ErrUnknownBandwidth) {
+		t.Errorf("bogus bandwidth: %v", err)
+	}
+	for _, p := range []Pattern{PatternSeq, PatternRand, PatternZipf, PatternChase} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("pattern %q rejected: %v", p, err)
+		}
+	}
+	if err := Pattern("wat").Validate(); !errors.Is(err, ErrUnknownPattern) {
+		t.Errorf("bogus pattern: %v", err)
+	}
+	if err := (MachineSpec{Policy: "bogus"}).Validate(); !errors.Is(err, ErrUnknownPolicy) {
+		t.Errorf("spec validate: %v", err)
+	}
+	if err := (MachineSpec{Bandwidth: "bogus"}).Validate(); !errors.Is(err, ErrUnknownBandwidth) {
+		t.Errorf("spec validate: %v", err)
+	}
+}
+
+func TestSentinelErrorsSurfaceFromAPI(t *testing.T) {
+	if _, err := Simulate(MachineSpec{Cores: 1, Policy: "bogus"}, []string{"gcc"}, tinyOptions()); !errors.Is(err, ErrUnknownPolicy) {
+		t.Errorf("Simulate policy err: %v", err)
+	}
+	if _, err := Simulate(MachineSpec{Cores: 1, Bandwidth: "bogus"}, []string{"gcc"}, tinyOptions()); !errors.Is(err, ErrUnknownBandwidth) {
+		t.Errorf("Simulate bandwidth err: %v", err)
+	}
+	if _, err := Simulate(MachineSpec{Cores: 1}, []string{"nope"}, tinyOptions()); !errors.Is(err, ErrUnknownBenchmark) {
+		t.Errorf("Simulate benchmark err: %v", err)
+	}
+	if _, err := TableI("bogus"); !errors.Is(err, ErrUnknownBandwidth) {
+		t.Errorf("TableI err: %v", err)
+	}
+	if _, err := SimulateParallel(MachineSpec{Cores: 2}, "nope", tinyOptions()); !errors.Is(err, ErrUnknownBenchmark) {
+		t.Errorf("SimulateParallel err: %v", err)
+	}
+	bad := Profile{Name: "x", BaseCPI: 1, MLP: 1, Regions: []Region{{SizeBytes: 1 << 20, Frac: 1, Pattern: "wat"}}}
+	if _, err := Simulate(MachineSpec{Cores: 1}, []string{"x"}, tinyOptions(), bad); !errors.Is(err, ErrUnknownPattern) {
+		t.Errorf("custom pattern err: %v", err)
+	}
+}
+
+func TestTableIRowNumericFields(t *testing.T) {
+	rows, err := TableI(BandwidthMCFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := rows[0]
+	if full.Cores != 32 || full.LLCBytes != 32<<20 || full.LLCSlices != 32 {
+		t.Fatalf("target row %+v", full)
+	}
+	if full.DRAMGBps != 128 || full.MCs*int(full.PerMCGBps) != int(full.DRAMGBps) {
+		t.Fatalf("target DRAM %+v", full)
+	}
+	for _, r := range rows {
+		if r.LLCBytes <= 0 || r.NoCGBps <= 0 || r.DRAMGBps <= 0 || r.CSLs <= 0 || r.MCs <= 0 {
+			t.Fatalf("non-positive construction parameters: %+v", r)
+		}
+		// Numeric fields are per-row consistent with the render strings.
+		if int64(r.LLCSlices) == 0 || r.PerCSLGBps <= 0 || r.PerMCGBps <= 0 {
+			t.Fatalf("row %+v", r)
+		}
+	}
+	// PRS: per-core proportionality of the 16-core model vs the target.
+	if rows[1].Cores != 16 || rows[1].DRAMGBps*2 != full.DRAMGBps {
+		t.Fatalf("16-core row not proportional: %+v", rows[1])
+	}
+}
+
+func TestExperimentsParallelMatchesSequential(t *testing.T) {
+	names := []string{"exchange2", "gcc", "lbm"}
+	seq, err := NewExperimentsSubset(tinyOptions(), names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewExperimentsSubset(tinyOptions(), names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.SetWorkers(runtime.NumCPU())
+	figSeq, err := seq.Fig3Construction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	figPar, err := par.Fig3Construction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(figSeq, figPar) {
+		t.Fatalf("parallel figure differs from sequential:\n%s\nvs\n%s", figSeq, figPar)
+	}
+	if par.Runs() != seq.Runs() {
+		t.Fatalf("parallel ran %d sims, sequential %d", par.Runs(), seq.Runs())
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-fast] [-figs 3,4,7] [-skip-hetero]
+//	experiments [-fast] [-figs 3,4,7] [-skip-hetero] [-workers N]
 //
 // -fast runs at reduced simulation fidelity (about 10x cheaper; the
 // qualitative conclusions survive). The full run regenerates the numbers
@@ -28,6 +28,7 @@ func main() {
 	fast := flag.Bool("fast", false, "reduced simulation fidelity (~10x faster)")
 	figs := flag.String("figs", "", "comma-separated ids to run (default: all): 1,3..12, mt, ablations, speedup")
 	skipHetero := flag.Bool("skip-hetero", false, "skip the heterogeneous studies (Figs. 5 and 6), the most expensive collection")
+	workers := flag.Int("workers", 1, "campaign worker-pool size for batch collections (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	opts := scalesim.DefaultOptions()
@@ -47,6 +48,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ex.SetWorkers(*workers)
 
 	fmt.Printf("scale-model simulation experiment suite (fidelity: %s)\n",
 		map[bool]string{true: "fast", false: "full"}[*fast])

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -67,8 +68,8 @@ func usage() {
                                             simulate a workload ("lbm x4" repeats)
   scalesim predict -bench NAME [-fast]      predict 32-core IPC from a 1-core scale model
   scalesim experiment -fig ID [-fast]       regenerate one figure (3..12, speedup)
-  scalesim sweep -knob llc|dram -bench NAME [-cores N] [-fast]
-                                            design-space sweep on a scale model`)
+  scalesim sweep -knob llc|dram -bench NAME [-cores N] [-workers N] [-fast]
+                                            concurrent design-space sweep on a scale model`)
 }
 
 func options(fast bool) scalesim.SimOptions {
@@ -80,9 +81,9 @@ func options(fast bool) scalesim.SimOptions {
 
 func cmdTable1(args []string) {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
-	bw := fs.String("bw", scalesim.BandwidthMCFirst, "bandwidth scaling order (MC-first or MB-first)")
+	bw := fs.String("bw", string(scalesim.BandwidthMCFirst), "bandwidth scaling order (MC-first or MB-first)")
 	_ = fs.Parse(args)
-	rows, err := scalesim.TableI(*bw)
+	rows, err := scalesim.TableI(scalesim.Bandwidth(*bw))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -141,7 +142,10 @@ func parseMachine(spec string) (scalesim.MachineSpec, error) {
 	}
 	m := scalesim.MachineSpec{Cores: cores}
 	if len(parts) == 2 {
-		m.Policy = parts[1]
+		m.Policy = scalesim.Policy(parts[1])
+		if err := m.Policy.Validate(); err != nil {
+			return scalesim.MachineSpec{}, err
+		}
 	}
 	return m, nil
 }
@@ -150,7 +154,7 @@ func cmdSimulate(args []string) {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
 	machine := fs.String("machine", "1:PRS", "machine spec: <cores>[:<policy>] (policies: target, PRS, NRS, PRS-LLC, PRS-DRAM)")
 	bench := fs.String("bench", "", "workload: comma-separated benchmarks, 'name xN' repeats")
-	bwOrder := fs.String("bw", scalesim.BandwidthMCFirst, "DRAM bandwidth scaling order")
+	bwOrder := fs.String("bw", string(scalesim.BandwidthMCFirst), "DRAM bandwidth scaling order")
 	fast := fs.Bool("fast", false, "reduced fidelity")
 	_ = fs.Parse(args)
 
@@ -162,7 +166,7 @@ func cmdSimulate(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m.Bandwidth = *bwOrder
+	m.Bandwidth = scalesim.Bandwidth(*bwOrder)
 	res, err := scalesim.Simulate(m, wl, options(*fast))
 	if err != nil {
 		log.Fatal(err)
@@ -263,6 +267,7 @@ func cmdSweep(args []string) {
 	bench := fs.String("bench", "xalancbmk", "benchmark to sweep")
 	cores := fs.Int("cores", 1, "scale-model core count")
 	fast := fs.Bool("fast", true, "reduced fidelity")
+	workers := fs.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS)")
 	_ = fs.Parse(args)
 
 	type point struct {
@@ -293,16 +298,29 @@ func cmdSweep(args []string) {
 	for i := range wl {
 		wl[i] = *bench
 	}
-	fmt.Printf("design-space sweep: %s on a %d-core scale model\n", *bench, *cores)
+	campaign := scalesim.Campaign{Workers: *workers}
 	for _, p := range points {
-		res, err := scalesim.Simulate(p.spec, wl, options(*fast))
-		if err != nil {
-			log.Fatal(err)
-		}
-		c := res.Cores[0]
-		fmt.Printf("  %s: IPC %6.3f  LLC MPKI %6.2f  DRAM util %.2f\n",
-			p.label, res.AverageIPC(), c.LLCMPKI, res.DRAMUtilization)
+		campaign.Jobs = append(campaign.Jobs, scalesim.CampaignJob{
+			Machine:    p.spec,
+			Benchmarks: wl,
+			Options:    options(*fast),
+		})
 	}
+	fmt.Printf("design-space sweep: %s on a %d-core scale model (%d design points)\n",
+		*bench, *cores, len(campaign.Jobs))
+	res, err := scalesim.RunCampaign(context.Background(), campaign)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, o := range res.Outcomes {
+		if o.Err != nil {
+			log.Fatal(o.Err)
+		}
+		c := o.Result.Cores[0]
+		fmt.Printf("  %s: IPC %6.3f  LLC MPKI %6.2f  DRAM util %.2f\n",
+			points[i].label, o.Result.AverageIPC(), c.LLCMPKI, o.Result.DRAMUtilization)
+	}
+	fmt.Printf("  campaign: %s\n", res.Stats)
 }
 
 func show(res fmt.Stringer, err error) {

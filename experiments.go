@@ -70,6 +70,15 @@ func newExperiments(opts SimOptions, suite []*trace.Profile) (*Experiments, erro
 // Runs reports how many distinct simulations have been executed so far.
 func (e *Experiments) Runs() int { return e.lab.Runs() }
 
+// CacheHits reports how many simulations were served from the memo cache.
+func (e *Experiments) CacheHits() int { return e.lab.CacheHits() }
+
+// SetWorkers sets the campaign engine's worker-pool size used when
+// experiment protocols fan batches of simulations out in parallel (<= 0
+// selects GOMAXPROCS; the default is 1, i.e. sequential). Results are
+// bit-identical for any worker count.
+func (e *Experiments) SetWorkers(n int) { e.lab.SetWorkers(n) }
+
 func (e *Experiments) homogData(m scalemodel.Metric) (*scalemodel.HomogeneousData, error) {
 	if d, ok := e.homog[m]; ok {
 		return d, nil

@@ -82,6 +82,46 @@ func Sorted(errs []float64) []float64 {
 	return out
 }
 
+// Progress is one campaign progress event: emitted by the campaign engine
+// after each job completes (successfully, from cache, or with an error).
+type Progress struct {
+	// Job is the submission-order index of the job that just finished.
+	Job int
+	// Completed and Total track overall campaign progress.
+	Completed int
+	Total     int
+	// CacheHit reports whether this job was served from the memo cache
+	// (including deduplication against an identical in-flight job).
+	CacheHit bool
+	// Err is the job's error, if it failed.
+	Err error
+}
+
+// CampaignStats aggregates a campaign engine's counters: how many jobs were
+// requested, how many unique simulations actually ran, and how many were
+// deduplicated by the content-addressed cache.
+type CampaignStats struct {
+	Jobs         int // jobs submitted
+	UniqueRuns   int // simulator invocations (cache misses)
+	CacheHits    int // jobs served from the memo cache
+	PanicRetries int // panics recovered and retried
+	Failures     int // jobs that ended in an error
+}
+
+// HitRate returns the fraction of jobs served from the cache.
+func (s CampaignStats) HitRate() float64 {
+	if s.Jobs == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.Jobs)
+}
+
+// String renders the stats as a one-line report.
+func (s CampaignStats) String() string {
+	return fmt.Sprintf("%d jobs: %d simulated, %d cached (%.0f%% hit rate), %d failed",
+		s.Jobs, s.UniqueRuns, s.CacheHits, 100*s.HitRate(), s.Failures)
+}
+
 // NamedError pairs a benchmark with its prediction error, for per-benchmark
 // figures sorted by a key (e.g. LLC MPKI in Fig. 3).
 type NamedError struct {

@@ -1,0 +1,306 @@
+// Package runner is the concurrent experiment-campaign engine: it executes
+// batches of simulation jobs (machine config × workload × options) on a
+// bounded pool of worker goroutines and memoizes results in a
+// content-addressed cache, so repeated design points across experiment
+// sweeps simulate exactly once.
+//
+// # Determinism
+//
+// Each simulation is single-threaded and fully deterministic for a fixed
+// (config, workload, options, seed); jobs share no mutable state. Results
+// are therefore bit-identical regardless of worker count or scheduling
+// order, and RunBatch returns them in submission order. The only
+// non-deterministic field is the measured host wall-clock.
+//
+// # Memoization
+//
+// The cache key is a SHA-256 hash over the complete machine configuration,
+// every workload profile's full parameter set, and the simulation options
+// (which include the seed). Two jobs collide only if they describe the same
+// simulation, in which case the second is served the first's result —
+// including across concurrent submissions (in-flight deduplication: the
+// duplicate waits instead of re-simulating).
+//
+// # Isolation
+//
+// A panicking simulation does not kill the campaign: the panic is recovered
+// in the worker, converted into a *PanicError for that one job, and retried
+// up to the engine's retry budget before being reported.
+package runner
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"scalesim/internal/config"
+	"scalesim/internal/metrics"
+	"scalesim/internal/sim"
+)
+
+// Job is one unit of campaign work: a workload simulated on a machine with
+// given options. The seed lives inside Options.
+type Job struct {
+	Config   *config.SystemConfig
+	Workload sim.Workload
+	Options  sim.Options
+}
+
+// Key returns the job's content-addressed cache key: a hex SHA-256 over the
+// full configuration, every profile's parameters, and the options (seed
+// included). Profiles are hashed by value, so two custom benchmarks sharing
+// a name but differing in any parameter never collide.
+func (j Job) Key() string {
+	h := sha256.New()
+	if j.Config != nil {
+		fmt.Fprintf(h, "cfg|%+v\n", *j.Config)
+	}
+	for _, p := range j.Workload.Profiles {
+		if p != nil {
+			fmt.Fprintf(h, "prof|%+v\n", *p)
+		}
+	}
+	fmt.Fprintf(h, "opts|%+v\n", j.Options)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// PanicError wraps a panic recovered from a simulation worker.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: simulation panicked: %v", e.Value)
+}
+
+// RunFunc is the simulation entry point the engine drives; injectable for
+// tests. The default is sim.RunContext.
+type RunFunc func(context.Context, *config.SystemConfig, sim.Workload, sim.Options) (*sim.Result, error)
+
+// Outcome is one job's result within a batch: either a simulation result or
+// an error, plus whether the memo cache served it.
+type Outcome struct {
+	Result   *sim.Result
+	Err      error
+	CacheHit bool
+}
+
+// entry is one cache slot. done is closed when res/err are final.
+type entry struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
+// Engine executes jobs on a bounded worker pool with memoization. An Engine
+// is safe for concurrent use; its cache persists across batches, so
+// consecutive campaigns (e.g. successive figures of an experiment suite)
+// share their common design points.
+type Engine struct {
+	workers int
+	retries int
+	run     RunFunc
+
+	mu      sync.Mutex
+	cache   map[string]*entry
+	stats   metrics.CampaignStats
+	simTime map[string]time.Duration
+}
+
+// New returns an engine with the given worker-pool size (<= 0 selects
+// GOMAXPROCS) and one retry after a recovered panic.
+func New(workers int) *Engine {
+	return &Engine{
+		workers: workers,
+		retries: 1,
+		run:     sim.RunContext,
+		cache:   make(map[string]*entry),
+		simTime: make(map[string]time.Duration),
+	}
+}
+
+// SetWorkers resizes the worker pool for subsequent batches (<= 0 selects
+// GOMAXPROCS).
+func (e *Engine) SetWorkers(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.workers = n
+}
+
+// SetRunFunc replaces the simulation entry point (tests).
+func (e *Engine) SetRunFunc(fn RunFunc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.run = fn
+}
+
+// Workers returns the effective pool size.
+func (e *Engine) Workers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.effectiveWorkers()
+}
+
+func (e *Engine) effectiveWorkers() int {
+	if e.workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.workers
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() metrics.CampaignStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// SimTime returns a copy of accumulated simulator wall-clock per
+// configuration name (cache misses only — cached results cost nothing).
+func (e *Engine) SimTime() map[string]time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]time.Duration, len(e.simTime))
+	for k, v := range e.simTime {
+		out[k] = v
+	}
+	return out
+}
+
+// Run executes one job through the cache. hit reports whether the result
+// came from the cache (or an identical in-flight job).
+func (e *Engine) Run(ctx context.Context, job Job) (res *sim.Result, hit bool, err error) {
+	key := job.Key()
+	e.mu.Lock()
+	e.stats.Jobs++
+	if ent, ok := e.cache[key]; ok {
+		e.stats.CacheHits++
+		e.mu.Unlock()
+		select {
+		case <-ent.done:
+			return ent.res, true, ent.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	ent := &entry{done: make(chan struct{})}
+	e.cache[key] = ent
+	e.stats.UniqueRuns++
+	e.mu.Unlock()
+
+	ent.res, ent.err = e.execute(ctx, job)
+	e.mu.Lock()
+	if ent.err != nil {
+		e.stats.Failures++
+		// Do not cache cancellation: the same job may be re-submitted with
+		// a live context later and must then actually run.
+		if errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded) {
+			delete(e.cache, key)
+			e.stats.UniqueRuns--
+		}
+	} else {
+		e.simTime[job.Config.Name] += ent.res.WallClock
+	}
+	e.mu.Unlock()
+	close(ent.done)
+	return ent.res, false, ent.err
+}
+
+// execute runs the job with panic isolation, retrying recovered panics up
+// to the engine's retry budget.
+func (e *Engine) execute(ctx context.Context, job Job) (*sim.Result, error) {
+	e.mu.Lock()
+	run, retries := e.run, e.retries
+	e.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		res, err := protect(ctx, run, job)
+		var pe *PanicError
+		if err != nil && errors.As(err, &pe) && attempt < retries {
+			e.mu.Lock()
+			e.stats.PanicRetries++
+			e.mu.Unlock()
+			continue
+		}
+		return res, err
+	}
+}
+
+// protect invokes one simulation attempt, converting panics into errors.
+func protect(ctx context.Context, run RunFunc, job Job) (res *sim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return run(ctx, job.Config, job.Workload, job.Options)
+}
+
+// RunBatch executes jobs on the worker pool and returns their outcomes in
+// submission order. Duplicated jobs (same Key) simulate once. The progress
+// callback, when non-nil, is invoked serially after each job completes.
+// RunBatch returns ctx.Err() when the batch was cut short by cancellation;
+// per-job errors (including cancellation of in-flight jobs) are reported in
+// the outcomes either way.
+func (e *Engine) RunBatch(ctx context.Context, jobs []Job, progress func(metrics.Progress)) ([]Outcome, error) {
+	out := make([]Outcome, len(jobs))
+	if len(jobs) == 0 {
+		return out, ctx.Err()
+	}
+	workers := e.Workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var (
+		wg        sync.WaitGroup
+		progMu    sync.Mutex
+		completed int
+		hits      int
+	)
+	idx := make(chan int)
+	worker := func() {
+		defer wg.Done()
+		for i := range idx {
+			res, hit, err := e.Run(ctx, jobs[i])
+			out[i] = Outcome{Result: res, Err: err, CacheHit: hit}
+			progMu.Lock()
+			completed++
+			if hit {
+				hits++
+			}
+			if progress != nil {
+				progress(metrics.Progress{
+					Job: i, Completed: completed, Total: len(jobs),
+					CacheHit: hit, Err: err,
+				})
+			}
+			progMu.Unlock()
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+feed:
+	for i := range jobs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Mark unfed jobs as cancelled so the outcome slice is complete.
+			for j := i; j < len(jobs); j++ {
+				out[j] = Outcome{Err: ctx.Err()}
+			}
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return out, ctx.Err()
+}

@@ -1,0 +1,251 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scalesim/internal/config"
+	"scalesim/internal/metrics"
+	"scalesim/internal/sim"
+	"scalesim/internal/trace"
+)
+
+// job builds a distinct design point by seed (the seed lives in Options and
+// therefore in the cache key).
+func job(seed uint64) Job {
+	return Job{
+		Config:   config.Target(),
+		Workload: sim.Workload{Profiles: []*trace.Profile{trace.Suite()[0]}},
+		Options:  sim.Options{Seed: seed},
+	}
+}
+
+// fakeResult fabricates a result carrying the seed, so tests can check which
+// execution produced it.
+func fakeResult(seed uint64) *sim.Result {
+	return &sim.Result{ConfigName: fmt.Sprintf("fake-%d", seed)}
+}
+
+func countingEngine(workers int, delay time.Duration) (*Engine, *atomic.Int64) {
+	e := New(workers)
+	var calls atomic.Int64
+	e.SetRunFunc(func(ctx context.Context, _ *config.SystemConfig, _ sim.Workload, o sim.Options) (*sim.Result, error) {
+		calls.Add(1)
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return fakeResult(o.Seed), nil
+	})
+	return e, &calls
+}
+
+func TestKeyContentAddressing(t *testing.T) {
+	a, b := job(1), job(1)
+	if a.Key() != b.Key() {
+		t.Fatal("identical jobs hash differently")
+	}
+	if a.Key() == job(2).Key() {
+		t.Fatal("seed not part of the key")
+	}
+	// Same profile name, different parameters: must not collide.
+	p1 := *trace.Suite()[0]
+	p2 := p1
+	p2.BaseCPI += 0.1
+	j1 := Job{Config: config.Target(), Workload: sim.Workload{Profiles: []*trace.Profile{&p1}}}
+	j2 := Job{Config: config.Target(), Workload: sim.Workload{Profiles: []*trace.Profile{&p2}}}
+	if j1.Key() == j2.Key() {
+		t.Fatal("profiles hashed by name only")
+	}
+	// Different configs must not collide.
+	small, err := config.ScaleModel(config.Target(), 2, config.ScaleModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3 := Job{Config: small, Workload: j1.Workload}
+	if j1.Key() == j3.Key() {
+		t.Fatal("config not part of the key")
+	}
+}
+
+func TestMemoizationAndStats(t *testing.T) {
+	e, calls := countingEngine(1, 0)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		res, hit, err := e.Run(ctx, job(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ConfigName != "fake-7" {
+			t.Fatalf("wrong result %q", res.ConfigName)
+		}
+		if wantHit := i > 0; hit != wantHit {
+			t.Fatalf("run %d: hit=%v", i, hit)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("%d executions, want 1", calls.Load())
+	}
+	s := e.Stats()
+	if s.Jobs != 3 || s.UniqueRuns != 1 || s.CacheHits != 2 || s.Failures != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestInFlightDeduplication(t *testing.T) {
+	e, calls := countingEngine(4, 50*time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := e.Run(context.Background(), job(1)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("%d executions for 8 concurrent identical jobs", calls.Load())
+	}
+}
+
+func TestPanicRetryThenSuccess(t *testing.T) {
+	e := New(1)
+	var calls atomic.Int64
+	e.SetRunFunc(func(_ context.Context, _ *config.SystemConfig, _ sim.Workload, o sim.Options) (*sim.Result, error) {
+		if calls.Add(1) == 1 {
+			panic("transient")
+		}
+		return fakeResult(o.Seed), nil
+	})
+	res, _, err := e.Run(context.Background(), job(1))
+	if err != nil || res == nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if s := e.Stats(); s.PanicRetries != 1 || s.Failures != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestPanicExhaustsRetries(t *testing.T) {
+	e := New(1)
+	e.SetRunFunc(func(context.Context, *config.SystemConfig, sim.Workload, sim.Options) (*sim.Result, error) {
+		panic("permanent")
+	})
+	_, _, err := e.Run(context.Background(), job(1))
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %v, want *PanicError", err)
+	}
+	if pe.Value != "permanent" || len(pe.Stack) == 0 {
+		t.Fatalf("panic detail lost: %+v", pe)
+	}
+	if s := e.Stats(); s.Failures != 1 || s.PanicRetries != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	// A panicking job must not take the whole batch down.
+	out, err := e.RunBatch(context.Background(), []Job{job(1)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.As(out[0].Err, &pe) {
+		t.Fatalf("batch outcome %+v", out[0])
+	}
+}
+
+func TestCancellationNotCached(t *testing.T) {
+	e, calls := countingEngine(1, time.Hour)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, _, err := e.Run(ctx, job(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v", err)
+	}
+	// Resubmitting with a live context must actually run, not replay the
+	// cancellation.
+	e.SetRunFunc(func(_ context.Context, _ *config.SystemConfig, _ sim.Workload, o sim.Options) (*sim.Result, error) {
+		calls.Add(1)
+		return fakeResult(o.Seed), nil
+	})
+	res, hit, err := e.Run(context.Background(), job(1))
+	if err != nil || hit {
+		t.Fatalf("resubmit: res=%v hit=%v err=%v", res, hit, err)
+	}
+	if s := e.Stats(); s.UniqueRuns != 1 {
+		t.Fatalf("cancelled run still counted: %+v", s)
+	}
+}
+
+func TestRunBatchOrderingAndProgress(t *testing.T) {
+	e, calls := countingEngine(4, time.Millisecond)
+	jobs := make([]Job, 12)
+	for i := range jobs {
+		jobs[i] = job(uint64(i % 5)) // 5 unique points, 7 duplicates
+	}
+	var events []metrics.Progress
+	out, err := e.RunBatch(context.Background(), jobs, func(p metrics.Progress) {
+		events = append(events, p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range out {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+		if want := fmt.Sprintf("fake-%d", i%5); o.Result.ConfigName != want {
+			t.Fatalf("job %d got %q, want %q (submission order broken)", i, o.Result.ConfigName, want)
+		}
+	}
+	if calls.Load() != 5 {
+		t.Fatalf("%d executions, want 5", calls.Load())
+	}
+	if len(events) != len(jobs) {
+		t.Fatalf("%d progress events", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Completed != len(jobs) || last.Total != len(jobs) {
+		t.Fatalf("final progress %+v", last)
+	}
+}
+
+func TestRunBatchCancellationCompletesOutcomes(t *testing.T) {
+	e, _ := countingEngine(2, 30*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		jobs[i] = job(uint64(i))
+	}
+	out, err := e.RunBatch(ctx, jobs, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch err %v", err)
+	}
+	cancelled := 0
+	for i, o := range out {
+		if o.Result == nil && o.Err == nil {
+			t.Fatalf("job %d has neither result nor error", i)
+		}
+		if errors.Is(o.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("no job observed the cancellation")
+	}
+}

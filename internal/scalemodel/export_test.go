@@ -1,11 +1,15 @@
 package scalemodel
 
 import (
+	"context"
+
 	"scalesim/internal/config"
 	"scalesim/internal/sim"
 )
 
 // SetRunnerForTest replaces the Lab's simulator with a fake.
 func (l *Lab) SetRunnerForTest(r func(*config.SystemConfig, sim.Workload, sim.Options) (*sim.Result, error)) {
-	l.runner = r
+	l.engine.SetRunFunc(func(_ context.Context, cfg *config.SystemConfig, wl sim.Workload, opts sim.Options) (*sim.Result, error) {
+		return r(cfg, wl, opts)
+	})
 }

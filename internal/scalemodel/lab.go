@@ -1,11 +1,11 @@
 package scalemodel
 
 import (
-	"fmt"
-	"strings"
+	"context"
 	"time"
 
 	"scalesim/internal/config"
+	"scalesim/internal/runner"
 	"scalesim/internal/sim"
 	"scalesim/internal/trace"
 )
@@ -13,8 +13,11 @@ import (
 // Lab runs and memoises simulations for the experiment protocols. Many of
 // the paper's figures share the same underlying runs (e.g. every
 // homogeneous study needs the 29 single-core scale-model runs), so the Lab
-// caches results keyed by (configuration, workload, options); experiments
-// then cost only their unique simulations.
+// routes every run through a shared campaign engine (internal/runner) whose
+// content-addressed cache is keyed by the full (configuration, workload,
+// options, seed) tuple; experiments then cost only their unique
+// simulations, and batch collections fan out across the engine's worker
+// pool.
 type Lab struct {
 	// Target is the system being predicted (default: config.Target()).
 	Target *config.SystemConfig
@@ -25,37 +28,37 @@ type Lab struct {
 	// Bandwidth is the DRAM scaling order (default MCFirst).
 	Bandwidth config.BandwidthScaling
 
-	// runner is injectable for tests; defaults to sim.Run.
-	runner func(*config.SystemConfig, sim.Workload, sim.Options) (*sim.Result, error)
+	// ctx bounds every simulation issued by this Lab (nil = Background).
+	ctx context.Context
 
-	shared *labShared
-}
-
-// labShared is the state Lab variants (WithPolicy, WithBandwidth) share, so
-// that e.g. the Fig. 3 policy sweep reuses one set of target-system runs.
-type labShared struct {
-	cache map[string]*sim.Result
-	// runs counts cache misses (actual simulator invocations).
-	runs int
-	// simTime accumulates wall-clock spent in actual simulator runs, per
-	// configuration name (used by the Fig. 7 speedup study).
-	simTime map[string]time.Duration
+	// engine is shared by every Lab variant (WithPolicy, WithBandwidth,
+	// ...), so e.g. the Fig. 3 policy sweep reuses one set of target runs.
+	engine *runner.Engine
 }
 
 // NewLab returns a Lab predicting the Table II target with the given
-// simulation options.
+// simulation options. The campaign engine starts sequential (one worker);
+// use SetWorkers to enable parallel batch collection.
 func NewLab(opts sim.Options) *Lab {
 	return &Lab{
 		Target:    config.Target(),
 		Opts:      opts,
 		Policy:    config.PRSFull,
 		Bandwidth: config.MCFirst,
-		runner:    sim.Run,
-		shared: &labShared{
-			cache:   make(map[string]*sim.Result),
-			simTime: make(map[string]time.Duration),
-		},
+		engine:    runner.New(1),
 	}
+}
+
+// SetWorkers resizes the engine's worker pool (<= 0 selects GOMAXPROCS).
+// Results are bit-identical for any worker count; only wall-clock changes.
+func (l *Lab) SetWorkers(n int) { l.engine.SetWorkers(n) }
+
+// WithContext returns a Lab variant whose simulations are bounded by ctx:
+// cancellation propagates into the simulator's epoch loop.
+func (l *Lab) WithContext(ctx context.Context) *Lab {
+	v := *l
+	v.ctx = ctx
+	return &v
 }
 
 // WithPolicy returns a Lab variant using the given scale-model construction
@@ -84,10 +87,21 @@ func (l *Lab) WithSimOptions(opts sim.Options) *Lab {
 }
 
 // Runs reports how many distinct simulations have actually been executed.
-func (l *Lab) Runs() int { return l.shared.runs }
+func (l *Lab) Runs() int { return l.engine.Stats().UniqueRuns }
+
+// CacheHits reports how many runs were served from the memo cache.
+func (l *Lab) CacheHits() int { return l.engine.Stats().CacheHits }
 
 // SimTime reports accumulated simulator wall-clock per configuration name.
-func (l *Lab) SimTime() map[string]time.Duration { return l.shared.simTime }
+func (l *Lab) SimTime() map[string]time.Duration { return l.engine.SimTime() }
+
+// context returns the Lab's bounding context.
+func (l *Lab) context() context.Context {
+	if l.ctx != nil {
+		return l.ctx
+	}
+	return context.Background()
+}
 
 // ScaleModelConfig derives the Lab's scale model with the given core count
 // (the target configuration itself when cores equals the target's).
@@ -98,43 +112,48 @@ func (l *Lab) ScaleModelConfig(cores int) (*config.SystemConfig, error) {
 	})
 }
 
-func workloadKey(wl sim.Workload) string {
-	names := make([]string, len(wl.Profiles))
-	for i, p := range wl.Profiles {
-		names[i] = p.Name
-	}
-	return strings.Join(names, ",")
-}
-
-// Run simulates wl on cfg, returning a cached result when the same run was
-// already performed.
+// Run simulates wl on cfg through the shared engine, returning a cached
+// result when the same run was already performed.
 func (l *Lab) Run(cfg *config.SystemConfig, wl sim.Workload) (*sim.Result, error) {
-	key := fmt.Sprintf("%s|%s|%+v", cfg.Name, workloadKey(wl), l.Opts)
-	if res, ok := l.shared.cache[key]; ok {
-		return res, nil
-	}
-	res, err := l.runner(cfg, wl, l.Opts)
-	if err != nil {
-		return nil, err
-	}
-	l.shared.cache[key] = res
-	l.shared.runs++
-	l.shared.simTime[cfg.Name] += res.WallClock
-	return res, nil
+	res, _, err := l.engine.Run(l.context(), runner.Job{Config: cfg, Workload: wl, Options: l.Opts})
+	return res, err
 }
 
-// HomogeneousRun simulates `cores` copies of prof on the matching scale
-// model (or the target when cores equals the target core count).
-func (l *Lab) HomogeneousRun(cores int, prof *trace.Profile) (*sim.Result, error) {
+// Prewarm fans the given jobs out across the engine's worker pool, filling
+// the memo cache so subsequent sequential Run calls are hits. Job errors
+// are deferred: the sequential replay re-encounters (and reports) them in
+// protocol order, keeping error behaviour identical to a sequential run.
+// Only context errors abort the prewarm.
+func (l *Lab) Prewarm(jobs []runner.Job) error {
+	if len(jobs) < 2 || l.engine.Workers() < 2 {
+		return nil // nothing to gain
+	}
+	_, err := l.engine.RunBatch(l.context(), jobs, nil)
+	return err
+}
+
+// HomogeneousJob builds (without running) the job for `cores` copies of
+// prof on the matching scale model.
+func (l *Lab) HomogeneousJob(cores int, prof *trace.Profile) (runner.Job, error) {
 	cfg := l.Target
 	if cores != l.Target.Cores {
 		var err error
 		cfg, err = l.ScaleModelConfig(cores)
 		if err != nil {
-			return nil, err
+			return runner.Job{}, err
 		}
 	}
-	return l.Run(cfg, sim.Homogeneous(prof, cores))
+	return runner.Job{Config: cfg, Workload: sim.Homogeneous(prof, cores), Options: l.Opts}, nil
+}
+
+// HomogeneousRun simulates `cores` copies of prof on the matching scale
+// model (or the target when cores equals the target core count).
+func (l *Lab) HomogeneousRun(cores int, prof *trace.Profile) (*sim.Result, error) {
+	job, err := l.HomogeneousJob(cores, prof)
+	if err != nil {
+		return nil, err
+	}
+	return l.Run(job.Config, job.Workload)
 }
 
 // MixRun simulates a heterogeneous mix on the machine with exactly

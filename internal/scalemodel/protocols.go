@@ -5,6 +5,8 @@ import (
 
 	"scalesim/internal/fit"
 	"scalesim/internal/metrics"
+	"scalesim/internal/runner"
+	"scalesim/internal/sim"
 	"scalesim/internal/trace"
 	"scalesim/internal/xrand"
 )
@@ -109,10 +111,36 @@ type HomogeneousData struct {
 	Scale  map[int]map[string]float64
 }
 
+// homogeneousJobs enumerates every run the homogeneous protocol needs, in
+// protocol order, for batch prewarming.
+func (l *Lab) homogeneousJobs(benchmarks []*trace.Profile, scaleCores []int) ([]runner.Job, error) {
+	var jobs []runner.Job
+	sizes := append([]int{1, l.Target.Cores}, scaleCores...)
+	for _, prof := range benchmarks {
+		for _, c := range sizes {
+			job, err := l.HomogeneousJob(c, prof)
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, job)
+		}
+	}
+	return jobs, nil
+}
+
 // CollectHomogeneous simulates everything the homogeneous protocol needs:
 // for each benchmark, the single-core scale model, the homogeneous target
 // run, and homogeneous runs on each multi-core scale model in scaleCores.
+// With a multi-worker engine the whole collection is prewarmed through the
+// campaign engine's worker pool first; the sequential assembly below then
+// reads from the memo cache, so results are bit-identical to a sequential
+// collection.
 func (l *Lab) CollectHomogeneous(benchmarks []*trace.Profile, scaleCores []int, metric Metric) (*HomogeneousData, error) {
+	if jobs, err := l.homogeneousJobs(benchmarks, scaleCores); err == nil {
+		if err := l.Prewarm(jobs); err != nil {
+			return nil, err
+		}
+	}
 	d := &HomogeneousData{
 		TargetCores: l.Target.Cores,
 		Metric:      metric,
@@ -355,6 +383,55 @@ func (l *Lab) CollectHeterogeneous(suite []*trace.Profile, opts HeteroOptions) (
 		}
 	}
 
+	randomMix := func(rng *xrand.RNG, pool []*trace.Profile, slots int) []*trace.Profile {
+		mix := make([]*trace.Profile, slots)
+		for i := range mix {
+			mix[i] = pool[rng.Intn(len(pool))]
+		}
+		return mix
+	}
+
+	// Draw every mix composition up front (the draws depend only on the
+	// seed, not on simulation results, so the RNG sequence is identical to
+	// the historical interleaved order), then prewarm the whole collection
+	// through the campaign engine in one batch.
+	mixRng := rng.Split()
+	nTrainMixes := opts.TrainResults / T
+	if nTrainMixes < 1 {
+		nTrainMixes = 1
+	}
+	trainMixes := make([][]*trace.Profile, nTrainMixes)
+	for i := range trainMixes {
+		trainMixes[i] = randomMix(mixRng, trainProfiles, T)
+	}
+	regMixes := map[int][][]*trace.Profile{}
+	for _, X := range opts.ScaleModels {
+		n := opts.TrainResults / X
+		if n < 1 {
+			n = 1
+		}
+		smRng := rng.Split()
+		for i := 0; i < n; i++ {
+			regMixes[X] = append(regMixes[X], randomMix(smRng, trainProfiles, X))
+		}
+	}
+	evalRng := rng.Split()
+	evalMixes := make([][]*trace.Profile, opts.EvalMixes)
+	for i := range evalMixes {
+		evalMixes[i] = balancedMix(evalRng, evalProfiles, T)
+	}
+	stpRng := rng.Split()
+	stpMixes := make([][]*trace.Profile, opts.STPMixes)
+	for i := range stpMixes {
+		stpMixes[i] = randomMix(stpRng, evalProfiles, T)
+	}
+
+	if jobs, err := l.heterogeneousJobs(suite, trainMixes, regMixes, evalMixes, stpMixes); err == nil {
+		if err := l.Prewarm(jobs); err != nil {
+			return nil, err
+		}
+	}
+
 	// Single-core measurements for every benchmark.
 	for _, p := range suite {
 		m, err := l.MeasureSingleCore(p)
@@ -364,22 +441,8 @@ func (l *Lab) CollectHeterogeneous(suite []*trace.Profile, opts HeteroOptions) (
 		d.Meas[p.Name] = m
 	}
 
-	randomMix := func(rng *xrand.RNG, pool []*trace.Profile, slots int) []*trace.Profile {
-		mix := make([]*trace.Profile, slots)
-		for i := range mix {
-			mix[i] = pool[rng.Intn(len(pool))]
-		}
-		return mix
-	}
-
 	// Training mixes for ML-based Prediction: target-system runs.
-	mixRng := rng.Split()
-	nTrainMixes := opts.TrainResults / T
-	if nTrainMixes < 1 {
-		nTrainMixes = 1
-	}
-	for i := 0; i < nTrainMixes; i++ {
-		mix := randomMix(mixRng, trainProfiles, T)
+	for _, mix := range trainMixes {
 		res, err := l.MixRun(mix)
 		if err != nil {
 			return nil, err
@@ -401,13 +464,7 @@ func (l *Lab) CollectHeterogeneous(suite []*trace.Profile, opts HeteroOptions) (
 		if err != nil {
 			return nil, err
 		}
-		n := opts.TrainResults / X
-		if n < 1 {
-			n = 1
-		}
-		smRng := rng.Split()
-		for i := 0; i < n; i++ {
-			mix := randomMix(smRng, trainProfiles, X)
+		for _, mix := range regMixes[X] {
 			res, err := l.MixRun(mix)
 			if err != nil {
 				return nil, err
@@ -426,9 +483,7 @@ func (l *Lab) CollectHeterogeneous(suite []*trace.Profile, opts HeteroOptions) (
 
 	// Evaluation mixes: balanced (each eval benchmark appears T/n times),
 	// then shuffled across cores.
-	evalRng := rng.Split()
-	for i := 0; i < opts.EvalMixes; i++ {
-		mix := balancedMix(evalRng, evalProfiles, T)
+	for _, mix := range evalMixes {
 		res, err := l.MixRun(mix)
 		if err != nil {
 			return nil, err
@@ -440,9 +495,7 @@ func (l *Lab) CollectHeterogeneous(suite []*trace.Profile, opts HeteroOptions) (
 	}
 
 	// STP mixes: random compositions of eval benchmarks (IPC metric).
-	stpRng := rng.Split()
-	for i := 0; i < opts.STPMixes; i++ {
-		mix := randomMix(stpRng, evalProfiles, T)
+	for _, mix := range stpMixes {
 		res, err := l.MixRun(mix)
 		if err != nil {
 			return nil, err
@@ -453,6 +506,48 @@ func (l *Lab) CollectHeterogeneous(suite []*trace.Profile, opts HeteroOptions) (
 		})
 	}
 	return d, nil
+}
+
+// heterogeneousJobs enumerates every run the heterogeneous protocol needs
+// for batch prewarming: single-core measurements plus all mixes.
+func (l *Lab) heterogeneousJobs(suite []*trace.Profile, trainMixes [][]*trace.Profile,
+	regMixes map[int][][]*trace.Profile, evalMixes, stpMixes [][]*trace.Profile) ([]runner.Job, error) {
+	var jobs []runner.Job
+	for _, p := range suite {
+		job, err := l.HomogeneousJob(1, p)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, job)
+	}
+	addMix := func(mix []*trace.Profile) error {
+		cores := len(mix)
+		cfg := l.Target
+		if cores != l.Target.Cores {
+			var err error
+			cfg, err = l.ScaleModelConfig(cores)
+			if err != nil {
+				return err
+			}
+		}
+		jobs = append(jobs, runner.Job{Config: cfg, Workload: sim.Workload{Profiles: mix}, Options: l.Opts})
+		return nil
+	}
+	for _, mixes := range [][][]*trace.Profile{trainMixes, evalMixes, stpMixes} {
+		for _, mix := range mixes {
+			if err := addMix(mix); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, mixes := range regMixes {
+		for _, mix := range mixes {
+			if err := addMix(mix); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return jobs, nil
 }
 
 func profileNames(ps []*trace.Profile) []string {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -81,6 +82,12 @@ func (r *ParallelResult) AggregateIPC() float64 {
 // (opts.Instructions) is divided across threads; barriers from the profile
 // synchronise them; the run ends when every thread finished its share.
 func RunParallel(cfg *config.SystemConfig, spec ParallelSpec, opts Options) (*ParallelResult, error) {
+	return RunParallelContext(context.Background(), cfg, spec, opts)
+}
+
+// RunParallelContext is RunParallel with cancellation, checked at every
+// epoch boundary like RunContext.
+func RunParallelContext(ctx context.Context, cfg *config.SystemConfig, spec ParallelSpec, opts Options) (*ParallelResult, error) {
 	opts = opts.normalized()
 	start := time.Now()
 	if spec.Profile == nil {
@@ -144,6 +151,9 @@ func RunParallel(cfg *config.SystemConfig, spec ParallelSpec, opts Options) (*Pa
 
 	// Warmup (no barriers), then reset statistics.
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		allWarm := true
 		for _, c := range m.cores {
 			c.Run(opts.EpochCycles, ^uint64(0))
@@ -175,6 +185,9 @@ func RunParallel(cfg *config.SystemConfig, spec ParallelSpec, opts Options) (*Pa
 		}
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for t, c := range m.cores {
 			if done[t] {
 				continue

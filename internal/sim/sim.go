@@ -24,6 +24,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -477,6 +478,15 @@ type snapshot struct {
 // Run simulates workload wl on machine cfg and returns measured per-core
 // results. The run is deterministic for fixed (cfg, wl, opts).
 func Run(cfg *config.SystemConfig, wl Workload, opts Options) (*Result, error) {
+	return RunContext(context.Background(), cfg, wl, opts)
+}
+
+// RunContext is Run with cancellation: ctx is checked at every epoch
+// boundary (both warmup and measurement), so a cancelled or expired context
+// aborts the run within one epoch's worth of simulated work and returns
+// ctx.Err(). Cancellation does not corrupt anything — the machine state is
+// simply discarded.
+func RunContext(ctx context.Context, cfg *config.SystemConfig, wl Workload, opts Options) (*Result, error) {
 	opts = opts.normalized()
 	start := time.Now()
 	m, err := newMachine(cfg, wl, opts)
@@ -488,6 +498,9 @@ func Run(cfg *config.SystemConfig, wl Workload, opts Options) (*Result, error) {
 	// warmup budget. Programs that finish early keep running (they must
 	// keep generating contention).
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		allWarm := true
 		for _, c := range m.cores {
 			c.Run(opts.EpochCycles, ^uint64(0))
@@ -518,6 +531,9 @@ func Run(cfg *config.SystemConfig, wl Workload, opts Options) (*Result, error) {
 	// Phase 2 — measure: epochs until the first program retires its budget.
 	elapsed := 0.0
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		done := false
 		for _, c := range m.cores {
 			c.Run(opts.EpochCycles, ^uint64(0))

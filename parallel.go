@@ -1,6 +1,7 @@
 package scalesim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -50,15 +51,22 @@ func ParallelBenchmarkNames() []string {
 // per core of the machine (strong scaling: opts.Instructions is the total
 // work, split across threads).
 func SimulateParallel(spec MachineSpec, workload string, opts SimOptions) (*ParallelResult, error) {
+	return SimulateParallelContext(context.Background(), spec, workload, opts)
+}
+
+// SimulateParallelContext is SimulateParallel bounded by ctx: cancellation
+// or deadline expiry propagates into the simulator's epoch loop, aborting
+// the run within one epoch and returning ctx.Err().
+func SimulateParallelContext(ctx context.Context, spec MachineSpec, workload string, opts SimOptions) (*ParallelResult, error) {
 	pp := trace.ParallelByName(workload)
 	if pp == nil {
-		return nil, fmt.Errorf("scalesim: unknown parallel workload %q", workload)
+		return nil, fmt.Errorf("scalesim: %w: parallel workload %q", ErrUnknownBenchmark, workload)
 	}
 	cfg, err := spec.internal()
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.RunParallel(cfg, sim.ParallelSpec{Profile: pp}, opts.internal())
+	res, err := sim.RunParallelContext(ctx, cfg, sim.ParallelSpec{Profile: pp}, opts.internal())
 	if err != nil {
 		return nil, err
 	}

@@ -16,6 +16,9 @@
 //     Resource Scaling, with MC-first/MB-first DRAM scaling),
 //   - ML extrapolation (CART decision tree, random forest, RBF-kernel SVR)
 //     and least-squares performance/core-count regression,
+//   - a concurrent campaign engine (Campaign / RunCampaign) that executes
+//     batches of design points on a worker pool with content-addressed
+//     memoization,
 //   - experiment drivers regenerating every table and figure in the paper.
 //
 // # Quick start
@@ -24,16 +27,40 @@
 //	pred, _ := ex.PredictTargetIPC("mcf")        // from a 1-core scale model
 //	fmt.Printf("predicted 32-core IPC: %.3f\n", pred)
 //
+// The context-aware entry points (SimulateContext, SimulateParallelContext,
+// RunCampaign) are the preferred API: they honour cancellation and
+// deadlines down to the simulator's epoch loop. The context-free wrappers
+// remain for convenience.
+//
 // See the examples/ directory for complete programs and DESIGN.md for the
 // architecture and the paper-to-module map.
 package scalesim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"scalesim/internal/config"
 	"scalesim/internal/sim"
 	"scalesim/internal/trace"
+)
+
+// Sentinel errors for invalid public-API inputs. They are wrapped with
+// context by the functions that return them; test with errors.Is.
+var (
+	// ErrUnknownPolicy reports a MachineSpec.Policy outside the Policy*
+	// constants.
+	ErrUnknownPolicy = errors.New("unknown scaling policy")
+	// ErrUnknownBandwidth reports a bandwidth scaling order outside the
+	// Bandwidth* constants.
+	ErrUnknownBandwidth = errors.New("unknown bandwidth scaling")
+	// ErrUnknownPattern reports a Region.Pattern outside the Pattern*
+	// constants.
+	ErrUnknownPattern = errors.New("unknown region pattern")
+	// ErrUnknownBenchmark reports a benchmark name that is neither in the
+	// suite nor among the supplied custom profiles.
+	ErrUnknownBenchmark = errors.New("unknown benchmark")
 )
 
 // SimOptions controls simulation fidelity and cost. The zero value of any
@@ -99,19 +126,49 @@ func (o SimOptions) internal() sim.Options {
 	}
 }
 
-// Pattern names accepted in Region.Pattern.
+// Pattern names a memory access pattern in Region.Pattern.
+type Pattern string
+
+// Patterns accepted in Region.Pattern.
 const (
-	PatternSeq   = "seq"
-	PatternRand  = "rand"
-	PatternZipf  = "zipf"
-	PatternChase = "chase"
+	PatternSeq   Pattern = "seq"
+	PatternRand  Pattern = "rand"
+	PatternZipf  Pattern = "zipf"
+	PatternChase Pattern = "chase"
 )
+
+// Validate reports whether the pattern is one of the Pattern* constants.
+// The error wraps ErrUnknownPattern.
+func (p Pattern) Validate() error {
+	switch p {
+	case PatternSeq, PatternRand, PatternZipf, PatternChase:
+		return nil
+	default:
+		return fmt.Errorf("scalesim: %w %q", ErrUnknownPattern, string(p))
+	}
+}
+
+// internal maps the pattern onto the trace generator's enumeration.
+func (p Pattern) internal() (trace.Pattern, error) {
+	switch p {
+	case PatternSeq:
+		return trace.Seq, nil
+	case PatternRand:
+		return trace.Rand, nil
+	case PatternZipf:
+		return trace.Zipf, nil
+	case PatternChase:
+		return trace.Chase, nil
+	default:
+		return 0, fmt.Errorf("scalesim: %w %q", ErrUnknownPattern, string(p))
+	}
+}
 
 // Region describes one memory region of a synthetic benchmark profile.
 type Region struct {
 	SizeBytes int64   // nominal footprint
 	Frac      float64 // fraction of memory accesses
-	Pattern   string  // "seq", "rand", "zipf" or "chase"
+	Pattern   Pattern // PatternSeq, PatternRand, PatternZipf or PatternChase
 	ElemSize  int     // seq element size in bytes (0 = 8)
 	ZipfS     float64 // zipf skew (0 = 0.8)
 }
@@ -131,21 +188,6 @@ type Profile struct {
 	Regions        []Region
 }
 
-func patternFromName(name string) (trace.Pattern, error) {
-	switch name {
-	case PatternSeq:
-		return trace.Seq, nil
-	case PatternRand:
-		return trace.Rand, nil
-	case PatternZipf:
-		return trace.Zipf, nil
-	case PatternChase:
-		return trace.Chase, nil
-	default:
-		return 0, fmt.Errorf("scalesim: unknown region pattern %q", name)
-	}
-}
-
 func (p Profile) internal() (*trace.Profile, error) {
 	tp := &trace.Profile{
 		Name:           p.Name,
@@ -159,7 +201,7 @@ func (p Profile) internal() (*trace.Profile, error) {
 		IFootprint:     config.Bytes(p.CodeBytes),
 	}
 	for _, r := range p.Regions {
-		pat, err := patternFromName(r.Pattern)
+		pat, err := r.Pattern.internal()
 		if err != nil {
 			return nil, err
 		}
@@ -193,7 +235,7 @@ func profileFromInternal(tp *trace.Profile) Profile {
 		p.Regions = append(p.Regions, Region{
 			SizeBytes: int64(r.Size),
 			Frac:      r.Frac,
-			Pattern:   r.Pattern.String(),
+			Pattern:   Pattern(r.Pattern.String()),
 			ElemSize:  r.ElemSize,
 			ZipfS:     r.ZipfS,
 		})
@@ -214,20 +256,60 @@ func Suite() []Profile {
 // BenchmarkNames returns the suite benchmark names.
 func BenchmarkNames() []string { return trace.Names() }
 
-// Scaling policy names accepted in MachineSpec.Policy.
+// Policy names a scale-model construction policy in MachineSpec.Policy.
+type Policy string
+
+// Scaling policies accepted in MachineSpec.Policy.
 const (
-	PolicyTarget  = "target"   // the full 32-core Table II system
-	PolicyNRS     = "NRS"      // no resource scaling
-	PolicyPRS     = "PRS"      // proportional scaling of LLC+NoC+DRAM
-	PolicyPRSLLC  = "PRS-LLC"  // scale LLC capacity only
-	PolicyPRSDRAM = "PRS-DRAM" // scale DRAM bandwidth only
+	PolicyTarget  Policy = "target"   // the full 32-core Table II system
+	PolicyNRS     Policy = "NRS"      // no resource scaling
+	PolicyPRS     Policy = "PRS"      // proportional scaling of LLC+NoC+DRAM
+	PolicyPRSLLC  Policy = "PRS-LLC"  // scale LLC capacity only
+	PolicyPRSDRAM Policy = "PRS-DRAM" // scale DRAM bandwidth only
 )
 
-// Bandwidth scaling order names accepted in MachineSpec.Bandwidth.
+// Validate reports whether the policy is one of the Policy* constants ("" is
+// valid and selects PRS). The error wraps ErrUnknownPolicy.
+func (p Policy) Validate() error {
+	switch p {
+	case "", PolicyTarget, PolicyNRS, PolicyPRS, PolicyPRSLLC, PolicyPRSDRAM:
+		return nil
+	default:
+		return fmt.Errorf("scalesim: %w %q", ErrUnknownPolicy, string(p))
+	}
+}
+
+// Bandwidth names a DRAM bandwidth scaling order in MachineSpec.Bandwidth.
+type Bandwidth string
+
+// Bandwidth scaling orders accepted in MachineSpec.Bandwidth.
 const (
-	BandwidthMCFirst = "MC-first"
-	BandwidthMBFirst = "MB-first"
+	BandwidthMCFirst Bandwidth = "MC-first"
+	BandwidthMBFirst Bandwidth = "MB-first"
 )
+
+// Validate reports whether the order is one of the Bandwidth* constants (""
+// is valid and selects MC-first). The error wraps ErrUnknownBandwidth.
+func (b Bandwidth) Validate() error {
+	switch b {
+	case "", BandwidthMCFirst, BandwidthMBFirst:
+		return nil
+	default:
+		return fmt.Errorf("scalesim: %w %q", ErrUnknownBandwidth, string(b))
+	}
+}
+
+// internal maps the order onto the construction enumeration.
+func (b Bandwidth) internal() (config.BandwidthScaling, error) {
+	switch b {
+	case BandwidthMCFirst, "":
+		return config.MCFirst, nil
+	case BandwidthMBFirst:
+		return config.MBFirst, nil
+	default:
+		return 0, fmt.Errorf("scalesim: %w %q", ErrUnknownBandwidth, string(b))
+	}
+}
 
 // MachineSpec selects a machine: the target system, a scale model, or a
 // custom design point.
@@ -236,9 +318,9 @@ type MachineSpec struct {
 	// the target's 32 cores: 1, 2, 4, 8, 16 or 32.
 	Cores int
 	// Policy is one of the Policy* constants ("" = PRS).
-	Policy string
+	Policy Policy
 	// Bandwidth is one of the Bandwidth* constants ("" = MC-first).
-	Bandwidth string
+	Bandwidth Bandwidth
 
 	// Design-space knobs (0 = PRS default). Setting any of these builds a
 	// custom machine instead of a paper configuration.
@@ -247,11 +329,20 @@ type MachineSpec struct {
 	NoCPerCoreGBps  float64 // NoC bisection bandwidth per core
 }
 
+// Validate reports the first invalid enumeration field (the simulator
+// validates structural constraints like core counts at run time).
+func (m MachineSpec) Validate() error {
+	if err := m.Policy.Validate(); err != nil {
+		return err
+	}
+	return m.Bandwidth.Validate()
+}
+
 func (m MachineSpec) internal() (*config.SystemConfig, error) {
 	if m.LLCPerCoreKB != 0 || m.DRAMPerCoreGBps != 0 || m.NoCPerCoreGBps != 0 {
-		var bw config.BandwidthScaling
-		if m.Bandwidth == BandwidthMBFirst {
-			bw = config.MBFirst
+		bw, err := m.Bandwidth.internal()
+		if err != nil {
+			return nil, err
 		}
 		return config.CustomSystem(m.Cores, config.CustomOptions{
 			LLCSlicePerCore: config.Bytes(m.LLCPerCoreKB) * config.KB,
@@ -274,16 +365,11 @@ func (m MachineSpec) internal() (*config.SystemConfig, error) {
 	case PolicyPRSDRAM:
 		pol = config.PRSDRAMOnly
 	default:
-		return nil, fmt.Errorf("scalesim: unknown scaling policy %q", m.Policy)
+		return nil, fmt.Errorf("scalesim: %w %q", ErrUnknownPolicy, string(m.Policy))
 	}
-	var bw config.BandwidthScaling
-	switch m.Bandwidth {
-	case BandwidthMCFirst, "":
-		bw = config.MCFirst
-	case BandwidthMBFirst:
-		bw = config.MBFirst
-	default:
-		return nil, fmt.Errorf("scalesim: unknown bandwidth scaling %q", m.Bandwidth)
+	bw, err := m.Bandwidth.internal()
+	if err != nil {
+		return nil, err
 	}
 	return config.ScaleModel(config.Target(), m.Cores, config.ScaleModelOptions{Policy: pol, Bandwidth: bw})
 }
@@ -324,15 +410,36 @@ func (r *SimResult) AverageIPC() float64 {
 // multiple copies) on the machine described by spec. Custom profiles can be
 // passed via extra; they take precedence over suite names.
 func Simulate(spec MachineSpec, benchmarks []string, opts SimOptions, extra ...Profile) (*SimResult, error) {
-	cfg, err := spec.internal()
+	return SimulateContext(context.Background(), spec, benchmarks, opts, extra...)
+}
+
+// SimulateContext is Simulate bounded by ctx: cancellation or deadline
+// expiry propagates into the simulator's epoch loop, aborting the run
+// within one epoch and returning ctx.Err().
+func SimulateContext(ctx context.Context, spec MachineSpec, benchmarks []string, opts SimOptions, extra ...Profile) (*SimResult, error) {
+	cfg, wl, err := buildRun(spec, benchmarks, extra)
 	if err != nil {
 		return nil, err
+	}
+	res, err := sim.RunContext(ctx, cfg, wl, opts.internal())
+	if err != nil {
+		return nil, err
+	}
+	return resultFromInternal(res), nil
+}
+
+// buildRun resolves a public (spec, benchmarks, extra) triple into the
+// internal machine configuration and workload.
+func buildRun(spec MachineSpec, benchmarks []string, extra []Profile) (*config.SystemConfig, sim.Workload, error) {
+	cfg, err := spec.internal()
+	if err != nil {
+		return nil, sim.Workload{}, err
 	}
 	custom := map[string]*trace.Profile{}
 	for _, p := range extra {
 		tp, err := p.internal()
 		if err != nil {
-			return nil, err
+			return nil, sim.Workload{}, err
 		}
 		custom[p.Name] = tp
 	}
@@ -343,15 +450,11 @@ func Simulate(spec MachineSpec, benchmarks []string, opts SimOptions, extra ...P
 			tp = trace.ByName(name)
 		}
 		if tp == nil {
-			return nil, fmt.Errorf("scalesim: unknown benchmark %q", name)
+			return nil, sim.Workload{}, fmt.Errorf("scalesim: %w %q", ErrUnknownBenchmark, name)
 		}
 		wl.Profiles = append(wl.Profiles, tp)
 	}
-	res, err := sim.Run(cfg, wl, opts.internal())
-	if err != nil {
-		return nil, err
-	}
-	return resultFromInternal(res), nil
+	return cfg, wl, nil
 }
 
 func resultFromInternal(res *sim.Result) *SimResult {
@@ -376,25 +479,31 @@ func resultFromInternal(res *sim.Result) *SimResult {
 }
 
 // TableIRow is one row of the paper's Table I (scale-model construction).
+// LLC, NoC and DRAM are formatted render strings; the numeric fields carry
+// the same data for programmatic use.
 type TableIRow struct {
-	Cores      int
-	LLC        string
-	NoC        string
-	DRAM       string
-	Underlying config.TableIRow `json:"-"`
+	Cores int
+	LLC   string
+	NoC   string
+	DRAM  string
+
+	// Numeric construction parameters.
+	LLCBytes   int64   // total LLC capacity in bytes
+	LLCSlices  int     // NUCA slices
+	NoCGBps    float64 // NoC bisection bandwidth
+	CSLs       int     // cross-section links
+	PerCSLGBps float64 // bandwidth per cross-section link
+	DRAMGBps   float64 // total DRAM bandwidth
+	MCs        int     // memory controllers
+	PerMCGBps  float64 // bandwidth per controller
 }
 
 // TableI reproduces the paper's Table I for the given bandwidth order
-// ("MC-first" or "MB-first"; "" = MC-first).
-func TableI(bandwidth string) ([]TableIRow, error) {
-	var bw config.BandwidthScaling
-	switch bandwidth {
-	case BandwidthMCFirst, "":
-		bw = config.MCFirst
-	case BandwidthMBFirst:
-		bw = config.MBFirst
-	default:
-		return nil, fmt.Errorf("scalesim: unknown bandwidth scaling %q", bandwidth)
+// (BandwidthMCFirst or BandwidthMBFirst; "" = MC-first).
+func TableI(bandwidth Bandwidth) ([]TableIRow, error) {
+	bw, err := bandwidth.internal()
+	if err != nil {
+		return nil, err
 	}
 	var out []TableIRow
 	for _, r := range config.TableI(bw) {
@@ -403,7 +512,14 @@ func TableI(bandwidth string) ([]TableIRow, error) {
 			LLC:        fmt.Sprintf("%v: %d slices", r.LLCSize, r.LLCSlices),
 			NoC:        fmt.Sprintf("%v: %d CSLs, %v per CSL", r.NoCGBps, r.CSLs, r.PerCSLGBps),
 			DRAM:       fmt.Sprintf("%v: %d MCs, %v per MC", r.DRAMGBps, r.MCs, r.PerMCGBps),
-			Underlying: r,
+			LLCBytes:   int64(r.LLCSize),
+			LLCSlices:  r.LLCSlices,
+			NoCGBps:    float64(r.NoCGBps),
+			CSLs:       r.CSLs,
+			PerCSLGBps: float64(r.PerCSLGBps),
+			DRAMGBps:   float64(r.DRAMGBps),
+			MCs:        r.MCs,
+			PerMCGBps:  float64(r.PerMCGBps),
 		})
 	}
 	return out, nil

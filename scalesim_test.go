@@ -110,7 +110,7 @@ func TestSimulateCustomProfile(t *testing.T) {
 }
 
 func TestMachineSpecVariants(t *testing.T) {
-	for _, pol := range []string{PolicyNRS, PolicyPRS, PolicyPRSLLC, PolicyPRSDRAM} {
+	for _, pol := range []Policy{PolicyNRS, PolicyPRS, PolicyPRSLLC, PolicyPRSDRAM} {
 		if _, err := Simulate(MachineSpec{Cores: 1, Policy: pol}, []string{"exchange2"}, tinyOptions()); err != nil {
 			t.Fatalf("%s: %v", pol, err)
 		}
