@@ -1,6 +1,7 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all build test check race bench clean
+.PHONY: all build test check race bench bench-json clean
 
 all: build
 
@@ -11,10 +12,16 @@ build:
 test: build
 	$(GO) test ./...
 
-# Fast CI gate: vet + the race detector over the short test set (the
-# expensive collections are guarded by testing.Short). Run this before
+# Fast CI gate: formatting + vet + the race detector over the short test set
+# (the expensive collections are guarded by testing.Short). Run this before
 # every commit.
 check: build
+	@unformatted=$$($(GOFMT) -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
 
@@ -24,6 +31,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -timeout=2h ./...
+
+# Machine-readable benchmark report: runs the bench suite and parses the
+# output into BENCH_<date>.json (see tools/benchjson).
+bench-json:
+	$(GO) test -bench=. -benchtime=1x -timeout=2h ./... \
+		| $(GO) run ./tools/benchjson -out BENCH_$$(date +%Y%m%d).json
 
 clean:
 	$(GO) clean ./...

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-fast] [-figs 3,4,7] [-skip-hetero] [-workers N]
+//	experiments [-fast] [-figs 3,4,7] [-skip-hetero] [-workers N] [-stats]
 //
 // -fast runs at reduced simulation fidelity (about 10x cheaper; the
 // qualitative conclusions survive). The full run regenerates the numbers
@@ -29,6 +29,7 @@ func main() {
 	figs := flag.String("figs", "", "comma-separated ids to run (default: all): 1,3..12, mt, ablations, speedup")
 	skipHetero := flag.Bool("skip-hetero", false, "skip the heterogeneous studies (Figs. 5 and 6), the most expensive collection")
 	workers := flag.Int("workers", 1, "campaign worker-pool size for batch collections (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print the campaign execution report (per-configuration simulation time) at the end")
 	flag.Parse()
 
 	opts := scalesim.DefaultOptions()
@@ -113,5 +114,8 @@ func main() {
 	}
 
 	fmt.Printf("total: %.1fs wall-clock, %d distinct simulations\n", time.Since(start).Seconds(), ex.Runs())
+	if *stats {
+		fmt.Println(ex.CampaignReport())
+	}
 	_ = os.Stdout.Sync()
 }

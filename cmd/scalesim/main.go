@@ -51,6 +51,8 @@ func main() {
 		cmdExperiment(os.Args[2:])
 	case "sweep":
 		cmdSweep(os.Args[2:])
+	case "stats":
+		cmdStats(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -64,12 +66,15 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   scalesim table1 [-bw MC-first|MB-first]   print the Table I scale-model construction
   scalesim suite                            list the 29-benchmark workload suite
-  scalesim simulate -machine C[:POLICY] -bench A,B,... [-fast]
-                                            simulate a workload ("lbm x4" repeats)
+  scalesim simulate -machine C[:POLICY] -bench A,B,... [-fast] [-trace FILE] [-stats]
+                                            simulate a workload ("lbm x4" repeats);
+                                            -trace streams per-epoch JSONL, -stats
+                                            prints the per-component trace summary
   scalesim predict -bench NAME [-fast]      predict 32-core IPC from a 1-core scale model
   scalesim experiment -fig ID [-fast]       regenerate one figure (3..12, speedup)
   scalesim sweep -knob llc|dram -bench NAME [-cores N] [-workers N] [-fast]
-                                            concurrent design-space sweep on a scale model`)
+                                            concurrent design-space sweep on a scale model
+  scalesim stats -trace FILE                summarise a JSONL trace file`)
 }
 
 func options(fast bool) scalesim.SimOptions {
@@ -156,6 +161,8 @@ func cmdSimulate(args []string) {
 	bench := fs.String("bench", "", "workload: comma-separated benchmarks, 'name xN' repeats")
 	bwOrder := fs.String("bw", string(scalesim.BandwidthMCFirst), "DRAM bandwidth scaling order")
 	fast := fs.Bool("fast", false, "reduced fidelity")
+	traceFile := fs.String("trace", "", "write the per-epoch telemetry trace to FILE as JSON Lines")
+	stats := fs.Bool("stats", false, "print the per-component trace summary after the run")
 	_ = fs.Parse(args)
 
 	wl, err := parseWorkload(*bench)
@@ -167,9 +174,24 @@ func cmdSimulate(args []string) {
 		log.Fatal(err)
 	}
 	m.Bandwidth = scalesim.Bandwidth(*bwOrder)
-	res, err := scalesim.Simulate(m, wl, options(*fast))
+	opts := options(*fast)
+	opts.Trace = *traceFile != "" || *stats
+	res, err := scalesim.Simulate(m, wl, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := scalesim.WriteTraceJSONL(f, res.Trace); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d epoch snapshots to %s\n", len(res.Trace), *traceFile)
 	}
 	fmt.Printf("machine %s  (DRAM util %.2f, NoC util %.2f, %.2fs wall-clock)\n",
 		res.Machine, res.DRAMUtilization, res.NoCUtilization, res.WallClockSec)
@@ -179,6 +201,31 @@ func cmdSimulate(args []string) {
 			c.Core, c.Benchmark, c.IPC, c.LLCMPKI, c.BWBytesPerCycle, 100*c.BranchMispredictRate)
 	}
 	fmt.Printf("  average IPC: %.3f\n", res.AverageIPC())
+	if *stats {
+		fmt.Println(scalesim.SummarizeTrace(res.Trace).String())
+	}
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	traceFile := fs.String("trace", "", "JSONL trace file to summarise (written by simulate -trace)")
+	_ = fs.Parse(args)
+	if *traceFile == "" {
+		log.Fatal("stats: -trace is required")
+	}
+	f, err := os.Open(*traceFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	trace, err := scalesim.ReadTraceJSONL(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(trace) == 0 {
+		log.Fatalf("stats: %s holds no epoch snapshots", *traceFile)
+	}
+	fmt.Println(scalesim.SummarizeTrace(trace).String())
 }
 
 func cmdPredict(args []string) {

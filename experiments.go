@@ -73,6 +73,11 @@ func (e *Experiments) Runs() int { return e.lab.Runs() }
 // CacheHits reports how many simulations were served from the memo cache.
 func (e *Experiments) CacheHits() int { return e.lab.CacheHits() }
 
+// CampaignReport renders the campaign engine's execution report: job
+// counters plus a per-configuration table of where simulation time went
+// (printed by `experiments -stats`).
+func (e *Experiments) CampaignReport() string { return e.lab.Report().String() }
+
 // SetWorkers sets the campaign engine's worker-pool size used when
 // experiment protocols fan batches of simulations out in parallel (<= 0
 // selects GOMAXPROCS; the default is 1, i.e. sequential). Results are

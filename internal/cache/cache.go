@@ -34,6 +34,14 @@ func (s *Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// HitRate returns hits per access, or 0 if the level was never accessed.
+func (s *Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Accesses-s.Misses) / float64(s.Accesses)
+}
+
 // Add accumulates other into s.
 func (s *Stats) Add(other Stats) {
 	s.Accesses += other.Accesses
@@ -41,6 +49,18 @@ func (s *Stats) Add(other Stats) {
 	s.Writes += other.Writes
 	s.Evictions += other.Evictions
 	s.Writebacks += other.Writebacks
+}
+
+// Delta returns the counters accumulated since prev was captured (s - prev,
+// field-wise). prev must be an earlier snapshot of the same counters.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Accesses:   s.Accesses - prev.Accesses,
+		Misses:     s.Misses - prev.Misses,
+		Writes:     s.Writes - prev.Writes,
+		Evictions:  s.Evictions - prev.Evictions,
+		Writebacks: s.Writebacks - prev.Writebacks,
+	}
 }
 
 // Level is one set-associative, write-back, write-allocate cache level with

@@ -169,6 +169,17 @@ func popcount(x uint64) int {
 	return n
 }
 
+// QueueDelay returns the mean M/D/1 waiting time (in cycles) across
+// controllers under the current utilization and efficiency estimates — the
+// queuing penalty a read issued now would expect on an average controller.
+func (m *Memory) QueueDelay() float64 {
+	sum := 0.0
+	for mc := range m.util {
+		sum += m.queueDelay(mc)
+	}
+	return sum / float64(len(m.util))
+}
+
 // Efficiency returns the mean smoothed row-buffer efficiency across
 // controllers.
 func (m *Memory) Efficiency() float64 {

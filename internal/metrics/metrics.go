@@ -26,12 +26,19 @@ type Summary struct {
 	N    int
 }
 
-// Summarize computes mean and max of errs, skipping NaNs.
+// finite reports whether e is a usable sample (neither NaN nor ±Inf).
+func finite(e float64) bool {
+	return !math.IsNaN(e) && !math.IsInf(e, 0)
+}
+
+// Summarize computes mean and max of errs, skipping non-finite values (NaN
+// and ±Inf — e.g. from a zero or denormal baseline): a single infinite
+// sample would otherwise poison the mean and max of the whole set.
 func Summarize(errs []float64) Summary {
 	var s Summary
 	sum := 0.0
 	for _, e := range errs {
-		if math.IsNaN(e) {
+		if !finite(e) {
 			continue
 		}
 		sum += e
@@ -54,7 +61,9 @@ func (s Summary) String() string {
 // STP computes system throughput for one multiprogram mix: the sum over
 // applications of IPC on the target system normalised by the application's
 // single-core scale-model IPC (the paper's normalisation baseline in §V-C).
-// Applications with a non-positive baseline are skipped.
+// A non-positive baseline is an error: it means the baseline simulation
+// never retired an instruction, and silently skipping the application would
+// misreport the mix's throughput.
 func STP(targetIPC, baselineIPC []float64) (float64, error) {
 	if len(targetIPC) != len(baselineIPC) {
 		return 0, fmt.Errorf("metrics: %d target IPCs but %d baselines", len(targetIPC), len(baselineIPC))
@@ -70,11 +79,11 @@ func STP(targetIPC, baselineIPC []float64) (float64, error) {
 }
 
 // Sorted returns a copy of errs sorted ascending (used for Fig. 6's sorted
-// error curves), NaNs removed.
+// error curves), non-finite values (NaN and ±Inf) removed.
 func Sorted(errs []float64) []float64 {
 	out := make([]float64, 0, len(errs))
 	for _, e := range errs {
-		if !math.IsNaN(e) {
+		if finite(e) {
 			out = append(out, e)
 		}
 	}

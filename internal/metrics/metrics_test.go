@@ -38,6 +38,21 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+func TestSummarizeSkipsInfinities(t *testing.T) {
+	// ±Inf arises from a zero or denormal baseline: like NaN, one sample
+	// must not poison the whole set.
+	s := Summarize([]float64{0.1, math.Inf(1), 0.3, math.Inf(-1)})
+	if s.N != 2 {
+		t.Fatalf("N = %d, want 2 (infinities skipped)", s.N)
+	}
+	if math.Abs(s.Mean-0.2) > 1e-12 || s.Max != 0.3 {
+		t.Fatalf("summary %+v, want mean 0.2 max 0.3", s)
+	}
+	if s := Summarize([]float64{math.Inf(1)}); s.N != 0 {
+		t.Fatalf("all-Inf summary %+v", s)
+	}
+}
+
 func TestSTP(t *testing.T) {
 	// Two apps at half their isolated speed: STP = 1.0 (out of 2).
 	stp, err := STP([]float64{0.5, 1.0}, []float64{1.0, 2.0})
@@ -50,13 +65,18 @@ func TestSTP(t *testing.T) {
 	if _, err := STP([]float64{1}, []float64{1, 2}); err == nil {
 		t.Fatal("length mismatch accepted")
 	}
+	// Non-positive baselines are an error, never silently skipped: the
+	// baseline simulation retired no instructions.
 	if _, err := STP([]float64{1}, []float64{0}); err == nil {
 		t.Fatal("zero baseline accepted")
+	}
+	if _, err := STP([]float64{1, 1}, []float64{1, -0.5}); err == nil {
+		t.Fatal("negative baseline accepted")
 	}
 }
 
 func TestSorted(t *testing.T) {
-	got := Sorted([]float64{0.3, math.NaN(), 0.1, 0.2})
+	got := Sorted([]float64{0.3, math.NaN(), 0.1, math.Inf(1), 0.2, math.Inf(-1)})
 	want := []float64{0.1, 0.2, 0.3}
 	if len(got) != len(want) {
 		t.Fatalf("len %d, want %d", len(got), len(want))

@@ -166,6 +166,10 @@ func (m *Mesh) EndEpoch(cycles float64) {
 // transiently when demand overshoots capacity).
 func (m *Mesh) Utilization() float64 { return m.util }
 
+// QueueDelay returns the congestion delay (in cycles) currently charged to
+// bisection-crossing messages — the telemetry view of queueDelay.
+func (m *Mesh) QueueDelay() float64 { return m.queueDelay() }
+
 // AverageHops returns the mean XY hop distance between two uniformly random
 // distinct tiles — a sanity metric used in tests and reports.
 func (m *Mesh) AverageHops() float64 {

@@ -14,12 +14,14 @@
 //
 // # Memoization
 //
-// The cache key is a SHA-256 hash over the complete machine configuration,
-// every workload profile's full parameter set, and the simulation options
-// (which include the seed). Two jobs collide only if they describe the same
-// simulation, in which case the second is served the first's result —
-// including across concurrent submissions (in-flight deduplication: the
-// duplicate waits instead of re-simulating).
+// The cache key is a SHA-256 hash over a canonical field-by-field encoding
+// (see key.go) of the complete machine configuration, every workload
+// profile's full parameter set, and the simulation options (which include
+// the seed). Two jobs collide only if they describe the same simulation, in
+// which case the second is served the first's result — including across
+// concurrent submissions (in-flight deduplication: the duplicate waits
+// instead of re-simulating). Keys are byte-stable across processes, so they
+// are also safe to persist.
 //
 // # Isolation
 //
@@ -30,12 +32,11 @@ package runner
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
@@ -45,29 +46,12 @@ import (
 )
 
 // Job is one unit of campaign work: a workload simulated on a machine with
-// given options. The seed lives inside Options.
+// given options. The seed lives inside Options. The content-addressed cache
+// key is computed by Key (key.go).
 type Job struct {
 	Config   *config.SystemConfig
 	Workload sim.Workload
 	Options  sim.Options
-}
-
-// Key returns the job's content-addressed cache key: a hex SHA-256 over the
-// full configuration, every profile's parameters, and the options (seed
-// included). Profiles are hashed by value, so two custom benchmarks sharing
-// a name but differing in any parameter never collide.
-func (j Job) Key() string {
-	h := sha256.New()
-	if j.Config != nil {
-		fmt.Fprintf(h, "cfg|%+v\n", *j.Config)
-	}
-	for _, p := range j.Workload.Profiles {
-		if p != nil {
-			fmt.Fprintf(h, "prof|%+v\n", *p)
-		}
-	}
-	fmt.Fprintf(h, "opts|%+v\n", j.Options)
-	return hex.EncodeToString(h.Sum(nil))
 }
 
 // PanicError wraps a panic recovered from a simulation worker.
@@ -90,6 +74,9 @@ type Outcome struct {
 	Result   *sim.Result
 	Err      error
 	CacheHit bool
+	// WallClock is the host time this job occupied a worker — near zero for
+	// cache hits, the simulation time (plus any in-flight wait) otherwise.
+	WallClock time.Duration
 }
 
 // entry is one cache slot. done is closed when res/err are final.
@@ -112,6 +99,7 @@ type Engine struct {
 	cache   map[string]*entry
 	stats   metrics.CampaignStats
 	simTime map[string]time.Duration
+	simRuns map[string]int
 }
 
 // New returns an engine with the given worker-pool size (<= 0 selects
@@ -123,6 +111,7 @@ func New(workers int) *Engine {
 		run:     sim.RunContext,
 		cache:   make(map[string]*entry),
 		simTime: make(map[string]time.Duration),
+		simRuns: make(map[string]int),
 	}
 }
 
@@ -174,6 +163,49 @@ func (e *Engine) SimTime() map[string]time.Duration {
 	return out
 }
 
+// ConfigTime aggregates the simulator wall-clock spent on one machine
+// configuration (cache misses only — cached results cost nothing).
+type ConfigTime struct {
+	Name string
+	Runs int // simulator invocations
+	Time time.Duration
+}
+
+// Report is a campaign execution report: the engine's counters plus the
+// per-configuration breakdown of where simulation time went.
+type Report struct {
+	Stats     metrics.CampaignStats
+	PerConfig []ConfigTime // sorted by configuration name
+}
+
+// Report returns a snapshot of the engine's execution report.
+func (e *Engine) Report() Report {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r := Report{Stats: e.stats, PerConfig: make([]ConfigTime, 0, len(e.simTime))}
+	for name, d := range e.simTime {
+		r.PerConfig = append(r.PerConfig, ConfigTime{Name: name, Runs: e.simRuns[name], Time: d})
+	}
+	sort.Slice(r.PerConfig, func(i, j int) bool { return r.PerConfig[i].Name < r.PerConfig[j].Name })
+	return r
+}
+
+// String renders the report as a small table.
+func (r Report) String() string {
+	out := "campaign: " + r.Stats.String()
+	if len(r.PerConfig) == 0 {
+		return out
+	}
+	out += "\n  configuration                             runs   sim time"
+	var total time.Duration
+	for _, c := range r.PerConfig {
+		out += fmt.Sprintf("\n  %-40s %5d %10.2fs", c.Name, c.Runs, c.Time.Seconds())
+		total += c.Time
+	}
+	out += fmt.Sprintf("\n  %-40s %5d %10.2fs", "total", r.Stats.UniqueRuns, total.Seconds())
+	return out
+}
+
 // Run executes one job through the cache. hit reports whether the result
 // came from the cache (or an identical in-flight job).
 func (e *Engine) Run(ctx context.Context, job Job) (res *sim.Result, hit bool, err error) {
@@ -207,6 +239,7 @@ func (e *Engine) Run(ctx context.Context, job Job) (res *sim.Result, hit bool, e
 		}
 	} else {
 		e.simTime[job.Config.Name] += ent.res.WallClock
+		e.simRuns[job.Config.Name]++
 	}
 	e.mu.Unlock()
 	close(ent.done)
@@ -268,8 +301,9 @@ func (e *Engine) RunBatch(ctx context.Context, jobs []Job, progress func(metrics
 	worker := func() {
 		defer wg.Done()
 		for i := range idx {
+			t0 := time.Now()
 			res, hit, err := e.Run(ctx, jobs[i])
-			out[i] = Outcome{Result: res, Err: err, CacheHit: hit}
+			out[i] = Outcome{Result: res, Err: err, CacheHit: hit, WallClock: time.Since(t0)}
 			progMu.Lock()
 			completed++
 			if hit {

@@ -95,6 +95,10 @@ func (l *Lab) CacheHits() int { return l.engine.Stats().CacheHits }
 // SimTime reports accumulated simulator wall-clock per configuration name.
 func (l *Lab) SimTime() map[string]time.Duration { return l.engine.SimTime() }
 
+// Report returns the engine's campaign execution report: job counters plus
+// the per-configuration simulation-time breakdown.
+func (l *Lab) Report() runner.Report { return l.engine.Report() }
+
 // context returns the Lab's bounding context.
 func (l *Lab) context() context.Context {
 	if l.ctx != nil {

@@ -68,6 +68,15 @@ type Options struct {
 	// turning it on is a robustness study for the methodology: prefetches
 	// change both isolated performance and bandwidth contention.
 	EnablePrefetch bool
+
+	// Telemetry enables per-epoch observability when non-nil: every
+	// measured epoch (and warmup epoch when Telemetry.Warmup is set) is
+	// snapshotted into Result.Trace and streamed to Telemetry.Sink when one
+	// is present. Nil — the default — is the zero-overhead fast path: the
+	// epoch loop performs a single nil check and nothing else. Telemetry
+	// never perturbs the simulation: a traced run's Result is bit-identical
+	// to an untraced run's (wall-clock and Trace aside).
+	Telemetry *TelemetryOptions
 }
 
 // DefaultOptions returns the options used by the experiment suite.
@@ -153,6 +162,10 @@ type Result struct {
 	// WallClock is the host time spent simulating (warmup + measure),
 	// used by the speedup experiments.
 	WallClock time.Duration
+
+	// Trace holds the run's per-epoch telemetry snapshots. Nil unless
+	// Options.Telemetry was set.
+	Trace []EpochSnapshot
 }
 
 // machine implements cpu.MemSystem over the simulated memory hierarchy.
@@ -249,10 +262,16 @@ func (m *machine) llcProbe(core int, addr uint64) bool {
 
 // llcCoreMisses returns the demand misses attributed to core.
 func (m *machine) llcCoreMisses(core int) uint64 {
+	return m.llcCoreStats(core).Misses
+}
+
+// llcCoreStats returns the LLC statistics attributed to core (the private
+// partition's counters under the PartitionedLLC ablation).
+func (m *machine) llcCoreStats(core int) cache.Stats {
 	if m.part != nil {
-		return m.part[core].Stats.Misses
+		return m.part[core].Stats
 	}
-	return m.llc.CoreStats(core).Misses
+	return m.llc.CoreStats(core)
 }
 
 // reqBytes is the NoC cost of a request+response pair for one cache line
@@ -494,6 +513,13 @@ func RunContext(ctx context.Context, cfg *config.SystemConfig, wl Workload, opts
 		return nil, err
 	}
 
+	// Telemetry is allocated only when requested; the disabled path costs
+	// one nil check per epoch.
+	var obs *observer
+	if opts.Telemetry != nil {
+		obs = newObserver(m, wl, opts.Telemetry)
+	}
+
 	// Phase 1 — warmup: run epochs until every program has retired its
 	// warmup budget. Programs that finish early keep running (they must
 	// keep generating contention).
@@ -509,6 +535,9 @@ func RunContext(ctx context.Context, cfg *config.SystemConfig, wl Workload, opts
 			}
 		}
 		m.endEpoch(opts.EpochCycles)
+		if obs != nil && opts.Telemetry.Warmup {
+			obs.observe(PhaseWarmup, opts.EpochCycles)
+		}
 		if allWarm {
 			break
 		}
@@ -527,6 +556,10 @@ func RunContext(ctx context.Context, cfg *config.SystemConfig, wl Workload, opts
 			dramBytes: m.mem.CoreBytes(i),
 		}
 	}
+	if obs != nil {
+		// Core statistics were just reset; re-base the delta computation.
+		obs.sync()
+	}
 
 	// Phase 2 — measure: epochs until the first program retires its budget.
 	elapsed := 0.0
@@ -542,6 +575,9 @@ func RunContext(ctx context.Context, cfg *config.SystemConfig, wl Workload, opts
 			}
 		}
 		m.endEpoch(opts.EpochCycles)
+		if obs != nil {
+			obs.observe(PhaseMeasure, opts.EpochCycles)
+		}
 		elapsed += opts.EpochCycles
 		if done {
 			break
@@ -583,6 +619,9 @@ func RunContext(ctx context.Context, cfg *config.SystemConfig, wl Workload, opts
 			FrontendCycles:       st.FrontendCycles,
 		}
 		res.Cores = append(res.Cores, cr)
+	}
+	if obs != nil {
+		res.Trace = obs.trace
 	}
 	res.WallClock = time.Since(start)
 	return res, nil

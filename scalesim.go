@@ -85,6 +85,14 @@ type SimOptions struct {
 	// DESIGN.md "Key design decisions".
 	NoFeedback     bool
 	PartitionedLLC bool
+
+	// Trace collects one EpochSnapshot per measured epoch into
+	// SimResult.Trace (see README "Observability" and the schema in
+	// DESIGN.md). Off by default; disabled tracing adds no measurable
+	// overhead, and enabling it never perturbs the simulated results.
+	Trace bool
+	// TraceWarmup additionally snapshots warmup epochs (requires Trace).
+	TraceWarmup bool
 }
 
 // DefaultOptions returns the full-fidelity experiment options used for
@@ -114,7 +122,7 @@ func FastOptions() SimOptions {
 }
 
 func (o SimOptions) internal() sim.Options {
-	return sim.Options{
+	io := sim.Options{
 		Instructions:   o.Instructions,
 		Warmup:         o.Warmup,
 		EpochCycles:    o.EpochCycles,
@@ -124,6 +132,10 @@ func (o SimOptions) internal() sim.Options {
 		NoFeedback:     o.NoFeedback,
 		PartitionedLLC: o.PartitionedLLC,
 	}
+	if o.Trace {
+		io.Telemetry = &sim.TelemetryOptions{Warmup: o.TraceWarmup}
+	}
+	return io
 }
 
 // Pattern names a memory access pattern in Region.Pattern.
@@ -392,6 +404,9 @@ type SimResult struct {
 	DRAMUtilization float64
 	NoCUtilization  float64
 	WallClockSec    float64
+	// Trace holds the per-epoch observability record when SimOptions.Trace
+	// was set (nil otherwise). See WriteTraceJSONL and SummarizeTrace.
+	Trace []EpochSnapshot
 }
 
 // AverageIPC returns the mean per-core IPC.
@@ -463,6 +478,7 @@ func resultFromInternal(res *sim.Result) *SimResult {
 		DRAMUtilization: res.DRAMUtilization,
 		NoCUtilization:  res.NoCUtilization,
 		WallClockSec:    res.WallClock.Seconds(),
+		Trace:           res.Trace,
 	}
 	for _, c := range res.Cores {
 		out.Cores = append(out.Cores, CoreResult{

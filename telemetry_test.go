@@ -1,0 +1,113 @@
+package scalesim
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func tracedRun(t *testing.T, warmup bool) *SimResult {
+	t.Helper()
+	opts := tinyOptions()
+	opts.Trace = true
+	opts.TraceWarmup = warmup
+	res, err := Simulate(MachineSpec{Cores: 2}, []string{"mcf", "gcc"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("Trace: true produced an empty trace")
+	}
+	return res
+}
+
+func TestSimulateTrace(t *testing.T) {
+	res := tracedRun(t, false)
+	for i, e := range res.Trace {
+		if e.Phase != PhaseMeasure {
+			t.Fatalf("epoch %d: phase %q without TraceWarmup", i, e.Phase)
+		}
+		if len(e.Cores) != 2 {
+			t.Fatalf("epoch %d: %d core records", i, len(e.Cores))
+		}
+	}
+	if b := res.Trace[0].Cores[1].Benchmark; b != "gcc" {
+		t.Fatalf("core 1 benchmark %q, want gcc", b)
+	}
+	// Untraced runs carry no trace.
+	plain, err := Simulate(MachineSpec{Cores: 2}, []string{"mcf", "gcc"}, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Fatal("untraced run has a trace")
+	}
+}
+
+func TestTraceJSONLRoundTrip(t *testing.T) {
+	res := tracedRun(t, true)
+	var buf bytes.Buffer
+	if err := WriteTraceJSONL(&buf, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraceJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Trace, back) {
+		t.Fatalf("round trip lost data: %d epochs in, %d out", len(res.Trace), len(back))
+	}
+	// Serialisation is deterministic: two writes of the same trace are
+	// byte-identical.
+	var a, b bytes.Buffer
+	if err := WriteTraceJSONL(&a, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceJSONL(&b, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("serialisation not deterministic")
+	}
+	if _, err := ReadTraceJSONL(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed trace accepted")
+	}
+}
+
+func TestSummarizeTrace(t *testing.T) {
+	res := tracedRun(t, true)
+	s := SummarizeTrace(res.Trace)
+	if s.Epochs == 0 || s.WarmupEpochs == 0 {
+		t.Fatalf("summary epochs %d/%d, want both measured and warmup", s.Epochs, s.WarmupEpochs)
+	}
+	if s.Epochs+s.WarmupEpochs != len(res.Trace) {
+		t.Fatalf("summary covers %d epochs, trace has %d", s.Epochs+s.WarmupEpochs, len(res.Trace))
+	}
+	if len(s.Cores) != 2 {
+		t.Fatalf("%d core summaries", len(s.Cores))
+	}
+	for _, c := range s.Cores {
+		if c.IPC <= 0 || c.IPC > 4 {
+			t.Fatalf("core %d IPC %v out of range", c.Core, c.IPC)
+		}
+		shares := c.BaseShare + c.BranchShare + c.MemoryShare + c.FrontendShare
+		if shares < 0.999 || shares > 1.001 {
+			t.Fatalf("core %d CPI-stack shares sum to %v", c.Core, shares)
+		}
+	}
+	// Summary IPC must agree with the simulator's own result (the trace
+	// accounts for every measured instruction and cycle).
+	for i, c := range s.Cores {
+		want := res.Cores[i].IPC
+		if rel := (c.IPC - want) / want; rel > 0.01 || rel < -0.01 {
+			t.Fatalf("core %d summary IPC %v, simulator reports %v", i, c.IPC, want)
+		}
+	}
+	out := s.String()
+	for _, want := range []string{"mcf", "gcc", "noc:", "dram:", "warmup epochs skipped"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary rendering lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark report. The textual output passes through to stdout unchanged, so
+// it slots into a pipe:
+//
+//	go test -bench=. -benchtime=1x ./... | go run ./tools/benchjson -out BENCH.json
+//
+// Each "Benchmark*" result line becomes one record with its iteration count
+// and every value/unit measurement pair (ns/op, B/op, allocs/op, and any
+// custom ReportMetric units). The report is written with sorted keys and a
+// stable record order (input order), so identical bench runs produce
+// identical files.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line's parsed form.
+type Result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the file benchjson writes.
+type Report struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("out", "", "write the JSON report to this file (required)")
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("-out is required")
+	}
+
+	var report Report
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		// `go test` prints "pkg: <import path>" before each package's
+		// benchmarks; remember it to qualify the records.
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if r, ok := parseBenchLine(line); ok {
+			r.Package = pkg
+			report.Benchmarks = append(report.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&report); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark results to %s\n", len(report.Benchmarks), *out)
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName-8   	     100	  11358 ns/op	  4.5 MB/s	 120 B/op
+//
+// reporting ok=false for any other line.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// The remainder alternates value, unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	if len(r.Metrics) == 0 {
+		return Result{}, false
+	}
+	return r, true
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkRun-8   \t     100\t  11358 ns/op\t 120 B/op")
+	if !ok {
+		t.Fatal("valid bench line rejected")
+	}
+	if r.Name != "BenchmarkRun-8" || r.Iterations != 100 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.Metrics["ns/op"] != 11358 || r.Metrics["B/op"] != 120 {
+		t.Fatalf("metrics %v", r.Metrics)
+	}
+	for _, line := range []string{
+		"PASS",
+		"ok  \tscalesim\t0.5s",
+		"pkg: scalesim",
+		"BenchmarkBroken notanumber ns/op",
+		"BenchmarkNoMetrics-8 100",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Fatalf("non-result line parsed: %q", line)
+		}
+	}
+}
