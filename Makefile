@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build test check race bench bench-json clean
+.PHONY: all build test check lint race bench bench-json clean
 
 all: build
 
@@ -12,9 +12,9 @@ build:
 test: build
 	$(GO) test ./...
 
-# Fast CI gate: formatting + vet + the race detector over the short test set
-# (the expensive collections are guarded by testing.Short). Run this before
-# every commit.
+# Fast CI gate: formatting + vet + the determinism linter + the race
+# detector over the short test set (the expensive collections are guarded by
+# testing.Short). Run this before every commit.
 check: build
 	@unformatted=$$($(GOFMT) -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -23,7 +23,13 @@ check: build
 		exit 1; \
 	fi
 	$(GO) vet ./...
+	$(GO) run ./tools/simlint
 	$(GO) test -race -short ./...
+
+# Determinism-and-drift static analysis (see tools/simlint and DESIGN.md,
+# "Determinism invariants"). Exits non-zero on any unsuppressed finding.
+lint:
+	$(GO) run ./tools/simlint
 
 # Race detector over the full test set (slow).
 race:

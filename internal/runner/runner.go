@@ -157,6 +157,7 @@ func (e *Engine) SimTime() map[string]time.Duration {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	out := make(map[string]time.Duration, len(e.simTime))
+	//simlint:ignore maporder copies into a map under the same keys; order cannot leak
 	for k, v := range e.simTime {
 		out[k] = v
 	}
@@ -183,6 +184,7 @@ func (e *Engine) Report() Report {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	r := Report{Stats: e.stats, PerConfig: make([]ConfigTime, 0, len(e.simTime))}
+	//simlint:ignore maporder PerConfig is sorted by name immediately below
 	for name, d := range e.simTime {
 		r.PerConfig = append(r.PerConfig, ConfigTime{Name: name, Runs: e.simRuns[name], Time: d})
 	}
@@ -301,8 +303,9 @@ func (e *Engine) RunBatch(ctx context.Context, jobs []Job, progress func(metrics
 	worker := func() {
 		defer wg.Done()
 		for i := range idx {
-			t0 := time.Now()
+			t0 := time.Now() //simlint:ignore wallclock measures Outcome.WallClock reporting only; never simulated state
 			res, hit, err := e.Run(ctx, jobs[i])
+			//simlint:ignore wallclock measures Outcome.WallClock reporting only; never simulated state
 			out[i] = Outcome{Result: res, Err: err, CacheHit: hit, WallClock: time.Since(t0)}
 			progMu.Lock()
 			completed++

@@ -1,0 +1,21 @@
+package scalemodel
+
+import (
+	"cmp"
+	"slices"
+)
+
+// sortedKeys returns m's keys in ascending order. Map iteration order is
+// randomised per process, so any loop whose effect depends on visit order
+// (appending to a slice, returning the first error, training estimators)
+// must iterate a sorted key slice instead — simlint's maporder rule
+// enforces this throughout the deterministic packages.
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	//simlint:ignore maporder keys are sorted before any order-dependent use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

@@ -235,6 +235,7 @@ func perBenchAverage(m Metric, cfg *config.SystemConfig, res *sim.Result) map[st
 		counts[cr.Benchmark]++
 	}
 	out := make(map[string]float64, len(sums))
+	//simlint:ignore maporder writes into a map under the same keys; order cannot leak
 	for name, sum := range sums {
 		out[name] = sum / float64(counts[name])
 	}

@@ -105,7 +105,8 @@ func TrainRegression(kind EstimatorKind, form fit.Model, in Inputs, metric Metri
 		Metric:     metric,
 		predictors: make(map[int]*Predictor, len(perScaleModel)),
 	}
-	for cores, samples := range perScaleModel {
+	for _, cores := range sortedKeys(perScaleModel) {
+		samples := perScaleModel[cores]
 		if cores < 2 {
 			return nil, fmt.Errorf("scalemodel: regression scale model with %d cores (need multi-core)", cores)
 		}

@@ -227,8 +227,8 @@ func (d *HomogeneousData) EvaluateLOO(spec MethodSpec) ([]metrics.NamedError, er
 	for _, b := range d.Benchmarks {
 		predSamples := d.samplesExcluding(b, d.Target)
 		regSamples := make(map[int][]Sample, len(d.Scale))
-		for c, labels := range d.Scale {
-			regSamples[c] = d.scaleSamplesExcluding(b, c, labels)
+		for _, c := range sortedKeys(d.Scale) {
+			regSamples[c] = d.scaleSamplesExcluding(b, c, d.Scale[c])
 		}
 		predict, err := buildMethod(spec, d.TargetCores, d.Metric, predSamples, regSamples)
 		if err != nil {
@@ -257,8 +257,8 @@ func (d *HomogeneousData) PredictOne(bench string, spec MethodSpec) (pred, actua
 	}
 	predSamples := d.samplesExcluding(bench, d.Target)
 	regSamples := make(map[int][]Sample, len(d.Scale))
-	for c, labels := range d.Scale {
-		regSamples[c] = d.scaleSamplesExcluding(bench, c, labels)
+	for _, c := range sortedKeys(d.Scale) {
+		regSamples[c] = d.scaleSamplesExcluding(bench, c, d.Scale[c])
 	}
 	predict, err := buildMethod(spec, d.TargetCores, d.Metric, predSamples, regSamples)
 	if err != nil {
@@ -540,8 +540,8 @@ func (l *Lab) heterogeneousJobs(suite []*trace.Profile, trainMixes [][]*trace.Pr
 			}
 		}
 	}
-	for _, mixes := range regMixes {
-		for _, mix := range mixes {
+	for _, cores := range sortedKeys(regMixes) {
+		for _, mix := range regMixes[cores] {
 			if err := addMix(mix); err != nil {
 				return nil, err
 			}
@@ -586,8 +586,8 @@ func (d *HeterogeneousData) EvaluatePerApp(spec MethodSpec) ([]metrics.NamedErro
 	counts := map[string]int{}
 	for _, mix := range d.EvalMixes {
 		feats := mix.features(d.Meas)
-		for bench, f := range feats {
-			pred, err := predict(f)
+		for _, bench := range sortedKeys(feats) {
+			pred, err := predict(feats[bench])
 			if err != nil {
 				return nil, err
 			}

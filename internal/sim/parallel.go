@@ -89,7 +89,7 @@ func RunParallel(cfg *config.SystemConfig, spec ParallelSpec, opts Options) (*Pa
 // epoch boundary like RunContext.
 func RunParallelContext(ctx context.Context, cfg *config.SystemConfig, spec ParallelSpec, opts Options) (*ParallelResult, error) {
 	opts = opts.normalized()
-	start := time.Now()
+	start := time.Now() //simlint:ignore wallclock measures Result.WallClock reporting only; never simulated state
 	if spec.Profile == nil {
 		return nil, fmt.Errorf("sim: nil parallel profile")
 	}
@@ -280,7 +280,7 @@ func RunParallelContext(ctx context.Context, cfg *config.SystemConfig, spec Para
 		stack.Barrier /= totalCycles
 	}
 	res.Stack = stack
-	res.WallClock = time.Since(start)
+	res.WallClock = time.Since(start) //simlint:ignore wallclock measures Result.WallClock reporting only; never simulated state
 	return res, nil
 }
 

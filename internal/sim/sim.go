@@ -507,7 +507,7 @@ func Run(cfg *config.SystemConfig, wl Workload, opts Options) (*Result, error) {
 // simply discarded.
 func RunContext(ctx context.Context, cfg *config.SystemConfig, wl Workload, opts Options) (*Result, error) {
 	opts = opts.normalized()
-	start := time.Now()
+	start := time.Now() //simlint:ignore wallclock measures Result.WallClock reporting only; never simulated state
 	m, err := newMachine(cfg, wl, opts)
 	if err != nil {
 		return nil, err
@@ -623,7 +623,7 @@ func RunContext(ctx context.Context, cfg *config.SystemConfig, wl Workload, opts
 	if obs != nil {
 		res.Trace = obs.trace
 	}
-	res.WallClock = time.Since(start)
+	res.WallClock = time.Since(start) //simlint:ignore wallclock measures Result.WallClock reporting only; never simulated state
 	return res, nil
 }
 

@@ -34,7 +34,9 @@ const (
 type TelemetryOptions struct {
 	// Sink, when non-nil, receives every snapshot as it is taken — e.g. a
 	// JSONLSink streaming to a file. Snapshots are also always collected
-	// into Result.Trace.
+	// into Result.Trace. The sink's identity is deliberately not part of
+	// the campaign cache key — only enablement and Warmup change a Result.
+	//simlint:ignore keydrift sink identity is not semantic; key.go encodes enablement and Warmup
 	Sink TelemetrySink
 	// Warmup additionally snapshots warmup epochs (Phase == PhaseWarmup).
 	// The default observes only the measured phase.

@@ -1,0 +1,191 @@
+// Analyzer plumbing: findings, suppression comments, and the lint pipeline.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic. Findings render as "file:line: [rule] msg"
+// with the file path relative to the module root, and are always emitted in
+// (file, line, rule, message) order so simlint's own output is
+// deterministic and golden-testable.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+// Analyzer is one repo-specific rule.
+type Analyzer interface {
+	Name() string
+	Run(m *Module) []Finding
+}
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//simlint:ignore <rule> <justification>
+//
+// placed either at the end of the offending line or on its own line
+// directly above it. The justification is mandatory: a suppression without
+// one does not suppress and is itself reported (rule "ignore").
+const ignorePrefix = "simlint:ignore"
+
+// suppression is one parsed //simlint:ignore comment.
+type suppression struct {
+	rule   string
+	reason string
+}
+
+// suppressionIndex maps file -> line -> suppressions declared on that line.
+type suppressionIndex map[string]map[int][]suppression
+
+// collectSuppressions parses every //simlint:ignore comment in the module.
+// Malformed suppressions (no rule, or no justification) are returned as
+// findings under the "ignore" rule.
+func collectSuppressions(m *Module) (suppressionIndex, []Finding) {
+	idx := suppressionIndex{}
+	var bad []Finding
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, ignorePrefix) {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+					if len(fields) == 0 {
+						bad = append(bad, Finding{Pos: pos, Rule: "ignore",
+							Msg: "suppression names no rule; use //simlint:ignore <rule> <justification>"})
+						continue
+					}
+					if len(fields) == 1 {
+						bad = append(bad, Finding{Pos: pos, Rule: "ignore",
+							Msg: fmt.Sprintf("suppression of %q has no justification and is ignored; state why the rule does not apply", fields[0])})
+						continue
+					}
+					lines := idx[pos.Filename]
+					if lines == nil {
+						lines = map[int][]suppression{}
+						idx[pos.Filename] = lines
+					}
+					lines[pos.Line] = append(lines[pos.Line],
+						suppression{rule: fields[0], reason: strings.Join(fields[1:], " ")})
+				}
+			}
+		}
+	}
+	return idx, bad
+}
+
+// suppressed reports whether a finding is covered by a suppression on its
+// own line or the line directly above.
+func (idx suppressionIndex) suppressed(f Finding) bool {
+	lines := idx[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, s := range lines[line] {
+			if s.rule == f.Rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Config selects what the pipeline checks. The zero value is not usable;
+// see defaultConfig for the repository's own settings.
+type Config struct {
+	// Root is the module root directory.
+	Root string
+	// Deterministic lists module-relative package directories whose code
+	// must be reproducible: maporder and wallclock apply only there.
+	Deterministic []string
+	// KeyFile is the module-relative path of the canonical cache-key
+	// encoder cross-checked by keydrift.
+	KeyFile string
+	// KeyRoots name the struct types whose field sets the key encoder must
+	// cover, as "<module-relative package dir>.<TypeName>". Struct-typed
+	// fields of a root (transitively, through pointers, slices and arrays)
+	// are checked too.
+	KeyRoots []string
+}
+
+// runLint loads the module and runs every analyzer, returning the surviving
+// findings in deterministic order.
+func runLint(cfg Config) ([]Finding, error) {
+	m, err := loadModule(cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+	det := map[string]bool{}
+	for _, d := range cfg.Deterministic {
+		det[d] = true
+	}
+	analyzers := []Analyzer{
+		maporder{det: det},
+		wallclock{det: det},
+		reflectfmt{},
+		keydrift{keyFile: cfg.KeyFile, roots: cfg.KeyRoots},
+	}
+	idx, findings := collectSuppressions(m)
+	for _, a := range analyzers {
+		for _, f := range a.Run(m) {
+			if !idx.suppressed(f) {
+				findings = append(findings, f)
+			}
+		}
+	}
+	for i := range findings {
+		findings[i].Pos.Filename = m.RelFile(findings[i].Pos.Filename)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// sortFindings orders findings by (file, line, column, rule, message) so
+// output never depends on analyzer or map iteration order.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// render formats findings one per line as "file:line: [rule] message".
+func render(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&b, "%s:%d: [%s] %s\n", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+	}
+	return b.String()
+}
+
+// enclosingFuncs applies fn to every function declaration in the file,
+// giving analyzers a named context for their walks.
+func enclosingFuncs(f *ast.File, fn func(decl *ast.FuncDecl)) {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			fn(fd)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command simlint is the repository's determinism-and-drift linter.
+//
+// The simulator's value rests on bit-identical, seed-stable runs: the
+// scale-model extrapolation (and anything trained on campaign outputs) is
+// meaningless if two runs of the same design point diverge. simlint loads
+// every package in the module with go/parser + go/types (standard library
+// only, offline) and enforces the invariants that keep runs reproducible:
+//
+//	maporder    no `range` over maps in deterministic packages
+//	wallclock   no time.Now/time.Since or math/rand in deterministic
+//	            packages; internal/xrand is the only randomness source
+//	reflectfmt  no %v/%+v of pointer-carrying values feeding a hash or key
+//	keydrift    every semantic field of the design-point structs must be
+//	            encoded by internal/runner/key.go
+//
+// Findings print as "file:line: [rule] message", sorted, and exit status 1.
+// A finding is suppressed by a trailing or preceding comment
+//
+//	//simlint:ignore <rule> <justification>
+//
+// where the justification is mandatory. See DESIGN.md, "Determinism
+// invariants".
+//
+// Usage:
+//
+//	simlint [flags] [module-root]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// defaultConfig is this repository's lint policy. The deterministic set is
+// every package whose code executes between "design point in" and "Result
+// out": the simulator core and its models, the synthetic trace generators,
+// the scale-model protocols, and the campaign engine (whose cache keys and
+// reports must themselves be reproducible).
+func defaultConfig(root string) Config {
+	return Config{
+		Root: root,
+		Deterministic: []string{
+			"internal/sim",
+			"internal/trace",
+			"internal/cache",
+			"internal/noc",
+			"internal/dram",
+			"internal/scalemodel",
+			"internal/runner",
+		},
+		KeyFile:  "internal/runner/key.go",
+		KeyRoots: []string{"internal/runner.Job"},
+	}
+}
+
+func main() {
+	det := flag.String("det", "", "comma-separated module-relative deterministic package dirs (default: the repo policy)")
+	keyFile := flag.String("keyfile", "", "module-relative path of the canonical key encoder (default: internal/runner/key.go)")
+	keyRoots := flag.String("keyroots", "", "comma-separated key root types as <pkg dir>.<TypeName> (default: internal/runner.Job)")
+	flag.Parse()
+
+	root := "."
+	if args := flag.Args(); len(args) > 0 && args[0] != "./..." {
+		root = args[0]
+	}
+	cfg := defaultConfig(root)
+	if *det != "" {
+		cfg.Deterministic = strings.Split(*det, ",")
+	}
+	if *keyFile != "" {
+		cfg.KeyFile = *keyFile
+	}
+	if *keyRoots != "" {
+		cfg.KeyRoots = strings.Split(*keyRoots, ",")
+	}
+
+	findings, err := runLint(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		fmt.Print(render(findings))
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// fixtureConfig lints the self-contained module under testdata/fixture,
+// with its own deterministic set and key encoder.
+func fixtureConfig() Config {
+	return Config{
+		Root:          filepath.Join("testdata", "fixture"),
+		Deterministic: []string{"det"},
+		KeyFile:       "enc/key.go",
+		KeyRoots:      []string{"keys.Options"},
+	}
+}
+
+var (
+	fixtureOnce     sync.Once
+	fixtureFindings []Finding
+	fixtureErr      error
+)
+
+func fixtureLint(t *testing.T) []Finding {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureFindings, fixtureErr = runLint(fixtureConfig())
+	})
+	if fixtureErr != nil {
+		t.Fatalf("runLint: %v", fixtureErr)
+	}
+	return fixtureFindings
+}
+
+// TestAnalyzerFindings pins, per rule, exactly which fixture sites are
+// flagged — and, by omission, that the justified suppressions and the
+// non-deterministic package stay silent.
+func TestAnalyzerFindings(t *testing.T) {
+	findings := fixtureLint(t)
+	got := map[string][]string{}
+	for _, f := range findings {
+		got[f.Rule] = append(got[f.Rule], fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line))
+	}
+	want := map[string][]string{
+		"maporder": {
+			"det/det.go:13", // Sum: unsuppressed range over map
+			"det/det.go:34", // SumBadSuppress: justification-less suppression does not suppress
+		},
+		"wallclock": {
+			"det/det.go:42", // Stamp: time.Now
+			"det/det.go:43", // Stamp: time.Since
+			"det/det.go:59", // Draw: global math/rand
+		},
+		"reflectfmt": {
+			"hashctx/hashctx.go:18", // Key: %+v of pointer-carrying struct
+			"hashctx/hashctx.go:41", // mix: %v into a hash.Hash writer
+		},
+		"keydrift": {
+			"keys/keys.go:16", // Region.Skew never encoded
+			"keys/keys.go:23", // Options.Drift never encoded
+		},
+		"ignore": {
+			"det/det.go:33", // suppression without a justification
+		},
+	}
+	for rule, sites := range want {
+		if !reflect.DeepEqual(got[rule], sites) {
+			t.Errorf("rule %s: got %v, want %v", rule, got[rule], sites)
+		}
+	}
+	for rule := range got {
+		if _, ok := want[rule]; !ok {
+			t.Errorf("unexpected findings for rule %s: %v", rule, got[rule])
+		}
+	}
+}
+
+// TestGoldenOutput pins the full rendered report. This is simlint's own
+// determinism regression test: the golden can only stay stable if findings
+// are emitted in sorted (file, line, rule, message) order.
+func TestGoldenOutput(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "fixture.golden")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	got := render(fixtureLint(t))
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+// TestOutputDeterministic lints the fixture twice from scratch and
+// requires byte-identical reports.
+func TestOutputDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second full load is slow")
+	}
+	again, err := runLint(fixtureConfig())
+	if err != nil {
+		t.Fatalf("runLint: %v", err)
+	}
+	if a, b := render(fixtureLint(t)), render(again); a != b {
+		t.Errorf("two runs rendered differently:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}
+
+// TestRepoClean lints the repository itself: HEAD must report zero
+// unsuppressed findings, which is what wires the rule set into make check.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	findings, err := runLint(defaultConfig(filepath.Join("..", "..")))
+	if err != nil {
+		t.Fatalf("runLint: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("repository is not lint-clean:\n%s", render(findings))
+	}
+}
+
+func TestVerbRefs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   []verbRef
+	}{
+		{"plain", nil},
+		{"%d", []verbRef{{'d', "", 0}}},
+		{"a=%v b=%+v", []verbRef{{'v', "", 0}, {'v', "+", 1}}},
+		{"%#v", []verbRef{{'v', "#", 0}}},
+		{"%% %v", []verbRef{{'v', "", 0}}},
+		{"%*d %v", []verbRef{{'d', "", 1}, {'v', "", 2}}},
+		{"%.3f %v", []verbRef{{'f', "", 0}, {'v', "", 1}}},
+		{"%[2]v %v", []verbRef{{'v', "", 1}, {'v', "", 2}}},
+	}
+	for _, c := range cases {
+		if got := verbRefs(c.format); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("verbRefs(%q) = %v, want %v", c.format, got, c.want)
+		}
+	}
+}

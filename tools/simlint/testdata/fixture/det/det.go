@@ -1,0 +1,60 @@
+// Package det is a fixture deterministic package: maporder and wallclock
+// findings, plus correctly and incorrectly suppressed variants.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Sum ranges a map without sorting: maporder must flag the range.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SumSuppressed carries a justified suppression: no finding.
+func SumSuppressed(m map[string]int) int {
+	total := 0
+	//simlint:ignore maporder addition is commutative; order cannot leak
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SumBadSuppress has a suppression without a justification: the range is
+// still flagged and the bare suppression is reported under "ignore".
+func SumBadSuppress(m map[string]int) int {
+	total := 0
+	//simlint:ignore maporder
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Stamp uses the wall clock twice: wallclock must flag both sites.
+func Stamp() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// StampSuppressed is a sanctioned timing-measurement site.
+func StampSuppressed() time.Duration {
+	start := time.Now() //simlint:ignore wallclock measurement only; never feeds simulated state
+	//simlint:ignore wallclock measurement only; never feeds simulated state
+	return time.Since(start)
+}
+
+// Hold returns a duration value: referencing package time for types must
+// not be flagged.
+func Hold() time.Duration { return 5 * time.Millisecond }
+
+// Draw uses the global math/rand source: wallclock must flag it.
+func Draw() int {
+	return rand.Intn(6)
+}

@@ -1,0 +1,24 @@
+// Package enc is the fixture canonical key encoder checked by keydrift.
+package enc
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"fixture/keys"
+)
+
+// Key encodes the semantic fields of o — all except Drift and Region.Skew,
+// which the keydrift fixture test expects to be flagged.
+func Key(o keys.Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "seed=%d|name=%s\n", o.Seed, o.Name)
+	if o.Tele != nil {
+		fmt.Fprintf(h, "warm=%t\n", o.Tele.Warm)
+	}
+	for _, r := range o.Regions {
+		fmt.Fprintf(h, "region|size=%d\n", r.Size)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,17 @@
+// Package free is NOT in the deterministic set: map ranges and wall-clock
+// reads here must produce no maporder/wallclock findings.
+package free
+
+import "time"
+
+// Tally may range a map freely outside the deterministic core.
+func Tally(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Stamp may read the wall clock freely outside the deterministic core.
+func Stamp() time.Time { return time.Now() }

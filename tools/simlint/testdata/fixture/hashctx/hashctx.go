@@ -1,0 +1,50 @@
+// Package hashctx exercises the reflectfmt analyzer: reflected formatting
+// of pointer-carrying values in (and out of) hash/key contexts.
+package hashctx
+
+import (
+	"crypto/sha256"
+	"fmt"
+)
+
+type job struct {
+	Name string
+	Tele *int
+}
+
+// Key reproduces the PR-2 cache-key bug: %+v of a struct carrying a
+// pointer, inside a key-named function. reflectfmt must flag the argument.
+func Key(j job) string {
+	return fmt.Sprintf("%+v", j)
+}
+
+// KeySuppressed is the same bug with a justified suppression: no finding.
+func KeySuppressed(j job) string {
+	//simlint:ignore reflectfmt fixture demonstrating an accepted risk
+	return fmt.Sprintf("%+v", j)
+}
+
+// KeyExplicit encodes fields explicitly: no finding.
+func KeyExplicit(j job) string {
+	return fmt.Sprintf("name=%s", j.Name)
+}
+
+// Describe is not a key context: the same reflected formatting is fine.
+func Describe(j job) string {
+	return fmt.Sprintf("%+v", j)
+}
+
+// mix is not key-named, but writes formatted output into a hash.Hash:
+// reflectfmt must flag the %v argument.
+func mix(j job) []byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "%v", j)
+	return h.Sum(nil)
+}
+
+// mixPlain writes only pointer-free values into the hash: no finding.
+func mixPlain(j job) []byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "name=%s|n=%d", j.Name, 7)
+	return h.Sum(nil)
+}

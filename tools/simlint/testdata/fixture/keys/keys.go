@@ -1,0 +1,26 @@
+// Package keys holds the fixture design-point structs cross-checked by the
+// keydrift analyzer against the encoder in fixture/enc.
+package keys
+
+// Telemetry is reached from Options through a pointer field.
+type Telemetry struct {
+	// Sink is deliberately non-semantic and suppressed.
+	Sink func() //simlint:ignore keydrift sink identity is not semantic; enablement is keyed
+	// Warm is encoded by the fixture encoder.
+	Warm bool
+}
+
+// Region is reached from Options through a slice field.
+type Region struct {
+	Size int
+	Skew float64 // not encoded: keydrift must flag this field
+}
+
+// Options is the keydrift root type.
+type Options struct {
+	Seed    uint64
+	Name    string
+	Drift   int // not encoded: keydrift must flag this field
+	Tele    *Telemetry
+	Regions []Region
+}
