@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build test check lint race bench bench-json clean
+.PHONY: all build test check lint race bench bench-json clean clean-store store-smoke
 
 all: build
 
@@ -14,7 +14,8 @@ test: build
 
 # Fast CI gate: formatting + vet + the determinism linter + the race
 # detector over the short test set (the expensive collections are guarded by
-# testing.Short). Run this before every commit.
+# testing.Short) + a durable-store round-trip smoke. Run this before every
+# commit.
 check: build
 	@unformatted=$$($(GOFMT) -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -25,6 +26,20 @@ check: build
 	$(GO) vet ./...
 	$(GO) run ./tools/simlint
 	$(GO) test -race -short ./...
+	$(MAKE) store-smoke
+
+# Durable-store round-trip smoke: the same design point simulated twice
+# against a fresh store must compute once and disk-hit once, and the store
+# must verify clean afterwards.
+store-smoke:
+	@rm -rf .store-smoke
+	@$(GO) run ./cmd/scalesim simulate -machine 1:PRS -bench mcf -fast -store .store-smoke | grep "store: compute" >/dev/null \
+		|| { echo "store-smoke: first run did not compute" >&2; exit 1; }
+	@$(GO) run ./cmd/scalesim simulate -machine 1:PRS -bench mcf -fast -store .store-smoke | grep "store: disk" >/dev/null \
+		|| { echo "store-smoke: second run did not hit the store" >&2; exit 1; }
+	@$(GO) run ./cmd/scalesim store -dir .store-smoke
+	@rm -rf .store-smoke
+	@echo "store-smoke: ok"
 
 # Determinism-and-drift static analysis (see tools/simlint and DESIGN.md,
 # "Determinism invariants"). Exits non-zero on any unsuppressed finding.
@@ -46,3 +61,8 @@ bench-json:
 
 clean:
 	$(GO) clean ./...
+
+# Remove durable campaign stores created by the smoke step or local runs
+# with the conventional .scalesim-store directory.
+clean-store:
+	rm -rf .store-smoke .scalesim-store

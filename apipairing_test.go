@@ -1,0 +1,156 @@
+package scalesim
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestContextPairingPinned pins the public API's context convention: every
+// exported top-level function XContext taking a context.Context first must
+// have an exported context-free wrapper X, and X's body must be exactly
+// `return XContext(context.Background(), <args forwarded in order>)`. New
+// entry points therefore cannot drift — a context-free function with its
+// own body next to an XContext twin fails here.
+func TestContextPairingPinned(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["scalesim"]
+	if !ok {
+		t.Fatalf("package scalesim not found in %v", pkgs)
+	}
+
+	funcs := map[string]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if ok && fd.Recv == nil && fd.Name.IsExported() {
+				funcs[fd.Name.Name] = fd
+			}
+		}
+	}
+
+	names := make([]string, 0, len(funcs))
+	for n := range funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	pairs := 0
+	for _, name := range names {
+		fd := funcs[name]
+		base, isCtx := strings.CutSuffix(name, "Context")
+		if !isCtx || base == "" || !firstParamIsContext(fd) {
+			continue
+		}
+		pairs++
+		wrapper, ok := funcs[base]
+		if !ok {
+			t.Errorf("%s has no context-free wrapper %s", name, base)
+			continue
+		}
+		if err := checkDelegation(wrapper, name); err != nil {
+			t.Errorf("%s must delegate to %s: %v", base, name, err)
+		}
+	}
+	if pairs < 3 {
+		// Simulate/SimulateParallel/RunCampaign at minimum; a refactor that
+		// hides them from the parser would silently void this test.
+		t.Fatalf("found only %d *Context functions, expected at least 3", pairs)
+	}
+}
+
+// firstParamIsContext reports whether fd's first parameter is a
+// context.Context.
+func firstParamIsContext(fd *ast.FuncDecl) bool {
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	sel, ok := params.List[0].Type.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	return ok && ident.Name == "context"
+}
+
+// checkDelegation verifies that wrapper's body is a single return statement
+// calling target with context.Background() first and the wrapper's own
+// parameters forwarded in declaration order.
+func checkDelegation(wrapper *ast.FuncDecl, target string) error {
+	if wrapper.Body == nil || len(wrapper.Body.List) != 1 {
+		return errFmt("body is not a single statement")
+	}
+	ret, ok := wrapper.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return errFmt("body is not a single return")
+	}
+	call, ok := ret.Results[0].(*ast.CallExpr)
+	if !ok {
+		return errFmt("return value is not a call")
+	}
+	callee, ok := call.Fun.(*ast.Ident)
+	if !ok || callee.Name != target {
+		return errFmt("calls %v, not %s", call.Fun, target)
+	}
+	if len(call.Args) == 0 {
+		return errFmt("call has no arguments")
+	}
+	bg, ok := call.Args[0].(*ast.CallExpr)
+	if !ok || exprString(bg.Fun) != "context.Background" {
+		return errFmt("first argument is not context.Background()")
+	}
+
+	// Collect the wrapper's parameter names in declaration order.
+	var params []string
+	for _, field := range wrapper.Type.Params.List {
+		for _, n := range field.Names {
+			params = append(params, n.Name)
+		}
+	}
+	rest := call.Args[1:]
+	if len(rest) != len(params) {
+		return errFmt("forwards %d arguments for %d parameters", len(rest), len(params))
+	}
+	for i, arg := range rest {
+		name := ""
+		switch a := arg.(type) {
+		case *ast.Ident:
+			name = a.Name
+		case *ast.Ellipsis:
+			return errFmt("unexpected ellipsis type in argument %d", i)
+		}
+		// A variadic forward parses as the parameter identifier with the
+		// call's Ellipsis position set; the identifier is what matters.
+		if name != params[i] {
+			return errFmt("argument %d is %s, want parameter %s", i, exprString(arg), params[i])
+		}
+	}
+	return nil
+}
+
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	default:
+		return "?"
+	}
+}
+
+func errFmt(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}

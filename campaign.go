@@ -2,9 +2,12 @@ package scalesim
 
 import (
 	"context"
+	"fmt"
+	"time"
 
 	"scalesim/internal/metrics"
 	"scalesim/internal/runner"
+	"scalesim/internal/store"
 )
 
 // CampaignJob is one design point of a campaign: a machine, a benchmark
@@ -30,7 +33,39 @@ type Campaign struct {
 	// OnProgress, when non-nil, is invoked serially after each job
 	// completes (successfully, from cache, or with an error).
 	OnProgress func(CampaignProgress)
+	// Store, when non-empty, is a directory used as a durable second
+	// memoization tier: results persist across processes, so re-running a
+	// campaign recomputes nothing (Stats.DiskHits). The store is created
+	// on first use; results are bit-identical with or without it. See
+	// README "Durable campaigns" for the on-disk layout.
+	Store string
+	// Retry bounds transient-failure retries (panics, I/O errors) with
+	// exponential backoff. The zero value selects the default policy (one
+	// retry); deterministic simulation errors are never retried.
+	Retry RetryPolicy
 }
+
+// RetryPolicy bounds transient-failure retries. Attempt n (1-based) that
+// fails transiently sleeps BaseDelay<<(n-1), capped at MaxDelay, before the
+// next attempt, up to MaxAttempts total attempts.
+type RetryPolicy struct {
+	MaxAttempts int           // total attempts (>=1)
+	BaseDelay   time.Duration // backoff before the first retry
+	MaxDelay    time.Duration // backoff cap
+}
+
+// ResultSource says where a job's result came from.
+type ResultSource string
+
+const (
+	// SourceCompute: the simulator actually ran for this job.
+	SourceCompute = ResultSource(runner.SourceCompute)
+	// SourceMemory: served by the in-memory memo cache, including
+	// deduplication against an identical in-flight job.
+	SourceMemory = ResultSource(runner.SourceMemory)
+	// SourceDisk: loaded from the campaign's durable store.
+	SourceDisk = ResultSource(runner.SourceDisk)
+)
 
 // CampaignProgress is one campaign progress event.
 type CampaignProgress struct {
@@ -46,29 +81,42 @@ type CampaignProgress struct {
 }
 
 // JobOutcome is one job's result: either a simulation result or an error,
-// plus whether the memo cache served it.
+// plus where the result came from and what it cost.
 type JobOutcome struct {
 	// Job is the submission-order index into Campaign.Jobs.
 	Job int
 	// Result is the simulation outcome (nil when Err is set).
 	Result *SimResult
 	// Err is the job's failure, if any. A panicking simulation surfaces
-	// here (after the engine's retry) without affecting other jobs.
+	// here (after the engine's retries, wrapped in ErrJobFailed) without
+	// affecting other jobs. Invalid specs fail with the matching
+	// ErrUnknown* sentinel.
 	Err error
-	// CacheHit reports whether an earlier identical job supplied Result.
+	// Source reports whether the simulator ran (SourceCompute) or the
+	// result was served from memory or disk. Empty for jobs that never
+	// ran (invalid specs, jobs cut off by cancellation before starting).
+	Source ResultSource
+	// CacheHit reports whether the job was served without simulating
+	// (Source is memory or disk).
 	CacheHit bool
+	// Retries counts failed attempts before the final one (0 normally).
+	Retries int
 }
 
 // CampaignStats aggregates a campaign's execution counters.
 type CampaignStats struct {
 	Jobs         int // jobs submitted
-	UniqueRuns   int // simulator invocations (cache misses)
-	CacheHits    int // jobs served from the memo cache
-	PanicRetries int // panics recovered and retried
+	UniqueRuns   int // simulator invocations (computes)
+	CacheHits    int // jobs served from the in-memory memo cache
+	DiskHits     int // jobs served from the durable store
+	Retries      int // transient failures retried (panics and I/O errors)
+	PanicRetries int // the panic subset of Retries
 	Failures     int // jobs that ended in an error
+	StoreCorrupt int // store artifacts quarantined and recomputed
 }
 
-// HitRate returns the fraction of jobs served from the cache.
+// HitRate returns the fraction of jobs served without simulating — from
+// the in-memory cache or the durable store.
 func (s CampaignStats) HitRate() float64 {
 	return metrics.CampaignStats(s).HitRate()
 }
@@ -102,12 +150,35 @@ func (r *CampaignResult) Errs() []JobOutcome {
 // bit-identical to a sequential (Workers: 1) run apart from the measured
 // wall-clock. Per-job failures — including invalid specs and recovered
 // panics — are reported in the outcomes without aborting the batch.
+func RunCampaign(c Campaign) (*CampaignResult, error) {
+	return RunCampaignContext(context.Background(), c)
+}
+
+// RunCampaignContext is RunCampaign bounded by a context.
 //
 // Cancelling ctx stops feeding jobs and aborts in-flight simulations at
-// their next epoch boundary; RunCampaign then returns ctx.Err() alongside
-// the partial outcomes (jobs cut short carry the context error).
-func RunCampaign(ctx context.Context, c Campaign) (*CampaignResult, error) {
+// their next epoch boundary; RunCampaignContext then returns ctx.Err()
+// alongside the partial outcomes (jobs cut short carry the context error).
+//
+// When c.Store is set, the directory is opened (created on first use) as a
+// durable memoization tier: previously computed design points load from
+// disk instead of simulating, and fresh computes are written back
+// atomically. A store that cannot be opened is an error; a corrupt artifact
+// inside an open store is not — it is quarantined and its job recomputed
+// (counted in Stats.StoreCorrupt).
+func RunCampaignContext(ctx context.Context, c Campaign) (*CampaignResult, error) {
 	eng := runner.New(c.Workers)
+	if c.Store != "" {
+		st, err := store.Open(c.Store)
+		if err != nil {
+			return nil, fmt.Errorf("scalesim: opening campaign store: %w", err)
+		}
+		defer st.Close()
+		eng.SetStore(st)
+	}
+	if c.Retry != (RetryPolicy{}) {
+		eng.SetRetry(runner.RetryPolicy(c.Retry))
+	}
 	jobs := make([]runner.Job, len(c.Jobs))
 	errs := make([]error, len(c.Jobs))
 	for i, cj := range c.Jobs {
@@ -155,7 +226,7 @@ func RunCampaign(ctx context.Context, c Campaign) (*CampaignResult, error) {
 	res.Stats.Failures += len(c.Jobs) - len(valid)
 	for k, o := range outcomes {
 		i := validIdx[k]
-		out := JobOutcome{Job: i, Err: o.Err, CacheHit: o.CacheHit}
+		out := JobOutcome{Job: i, Err: o.Err, Source: ResultSource(o.Source), CacheHit: o.CacheHit, Retries: o.Retries}
 		if o.Result != nil {
 			out.Result = resultFromInternal(o.Result)
 		}

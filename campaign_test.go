@@ -43,7 +43,7 @@ func TestCampaignMemoizesAndPreservesOrder(t *testing.T) {
 	if len(jobs) < 8 {
 		t.Fatalf("campaign too small: %d jobs", len(jobs))
 	}
-	res, err := RunCampaign(context.Background(), Campaign{Jobs: jobs, Workers: 2})
+	res, err := RunCampaignContext(context.Background(), Campaign{Jobs: jobs, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,11 +80,11 @@ func TestCampaignMemoizesAndPreservesOrder(t *testing.T) {
 
 func TestCampaignParallelBitIdenticalToSequential(t *testing.T) {
 	jobs := campaignJobs()
-	seq, err := RunCampaign(context.Background(), Campaign{Jobs: jobs, Workers: 1})
+	seq, err := RunCampaignContext(context.Background(), Campaign{Jobs: jobs, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunCampaign(context.Background(), Campaign{Jobs: jobs, Workers: runtime.NumCPU()})
+	par, err := RunCampaignContext(context.Background(), Campaign{Jobs: jobs, Workers: runtime.NumCPU()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,12 +118,12 @@ func TestCampaignSpeedup(t *testing.T) {
 		})
 	}
 	t0 := time.Now()
-	if _, err := RunCampaign(context.Background(), Campaign{Jobs: jobs, Workers: 1}); err != nil {
+	if _, err := RunCampaignContext(context.Background(), Campaign{Jobs: jobs, Workers: 1}); err != nil {
 		t.Fatal(err)
 	}
 	seq := time.Since(t0)
 	t0 = time.Now()
-	if _, err := RunCampaign(context.Background(), Campaign{Jobs: jobs, Workers: 4}); err != nil {
+	if _, err := RunCampaignContext(context.Background(), Campaign{Jobs: jobs, Workers: 4}); err != nil {
 		t.Fatal(err)
 	}
 	par := time.Since(t0)
@@ -139,7 +139,7 @@ func TestCampaignInvalidJobIsolated(t *testing.T) {
 		{Machine: MachineSpec{Cores: 1}, Benchmarks: []string{"nothere"}, Options: tinyOptions()},
 	}
 	var progress []CampaignProgress
-	res, err := RunCampaign(context.Background(), Campaign{
+	res, err := RunCampaignContext(context.Background(), Campaign{
 		Jobs:       jobs,
 		Workers:    2,
 		OnProgress: func(p CampaignProgress) { progress = append(progress, p) },

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-fast] [-figs 3,4,7] [-skip-hetero] [-workers N] [-stats]
+//	experiments [-fast] [-figs 3,4,7] [-skip-hetero] [-workers N] [-stats] [-store DIR]
 //
 // -fast runs at reduced simulation fidelity (about 10x cheaper; the
 // qualitative conclusions survive). The full run regenerates the numbers
@@ -30,6 +30,7 @@ func main() {
 	skipHetero := flag.Bool("skip-hetero", false, "skip the heterogeneous studies (Figs. 5 and 6), the most expensive collection")
 	workers := flag.Int("workers", 1, "campaign worker-pool size for batch collections (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print the campaign execution report (per-configuration simulation time) at the end")
+	storeDir := flag.String("store", "", "durable result store directory: makes figure regeneration incremental across invocations")
 	flag.Parse()
 
 	opts := scalesim.DefaultOptions()
@@ -50,6 +51,12 @@ func main() {
 		log.Fatal(err)
 	}
 	ex.SetWorkers(*workers)
+	if *storeDir != "" {
+		if err := ex.SetStore(*storeDir); err != nil {
+			log.Fatal(err)
+		}
+		defer ex.Close()
+	}
 
 	fmt.Printf("scale-model simulation experiment suite (fidelity: %s)\n",
 		map[bool]string{true: "fast", false: "full"}[*fast])
@@ -113,7 +120,11 @@ func main() {
 		fmt.Println()
 	}
 
-	fmt.Printf("total: %.1fs wall-clock, %d distinct simulations\n", time.Since(start).Seconds(), ex.Runs())
+	fmt.Printf("total: %.1fs wall-clock, %d distinct simulations", time.Since(start).Seconds(), ex.Runs())
+	if *storeDir != "" {
+		fmt.Printf(", %d served from store", ex.DiskHits())
+	}
+	fmt.Println()
 	if *stats {
 		fmt.Println(ex.CampaignReport())
 	}

@@ -53,6 +53,8 @@ func main() {
 		cmdSweep(os.Args[2:])
 	case "stats":
 		cmdStats(os.Args[2:])
+	case "store":
+		cmdStore(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -66,15 +68,18 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   scalesim table1 [-bw MC-first|MB-first]   print the Table I scale-model construction
   scalesim suite                            list the 29-benchmark workload suite
-  scalesim simulate -machine C[:POLICY] -bench A,B,... [-fast] [-trace FILE] [-stats]
+  scalesim simulate -machine C[:POLICY] -bench A,B,... [-fast] [-trace FILE] [-stats] [-store DIR]
                                             simulate a workload ("lbm x4" repeats);
                                             -trace streams per-epoch JSONL, -stats
-                                            prints the per-component trace summary
+                                            prints the per-component trace summary,
+                                            -store reuses results across invocations
   scalesim predict -bench NAME [-fast]      predict 32-core IPC from a 1-core scale model
   scalesim experiment -fig ID [-fast]       regenerate one figure (3..12, speedup)
-  scalesim sweep -knob llc|dram -bench NAME [-cores N] [-workers N] [-fast]
+  scalesim sweep -knob llc|dram -bench NAME [-cores N] [-workers N] [-fast] [-store DIR]
                                             concurrent design-space sweep on a scale model
-  scalesim stats -trace FILE                summarise a JSONL trace file`)
+  scalesim stats -trace FILE                summarise a JSONL trace file
+  scalesim store -dir DIR                   verify a durable campaign store (artifacts,
+                                            checksums, interrupted jobs)`)
 }
 
 func options(fast bool) scalesim.SimOptions {
@@ -163,6 +168,7 @@ func cmdSimulate(args []string) {
 	fast := fs.Bool("fast", false, "reduced fidelity")
 	traceFile := fs.String("trace", "", "write the per-epoch telemetry trace to FILE as JSON Lines")
 	stats := fs.Bool("stats", false, "print the per-component trace summary after the run")
+	storeDir := fs.String("store", "", "durable result store directory: reuse results across invocations")
 	_ = fs.Parse(args)
 
 	wl, err := parseWorkload(*bench)
@@ -176,9 +182,30 @@ func cmdSimulate(args []string) {
 	m.Bandwidth = scalesim.Bandwidth(*bwOrder)
 	opts := options(*fast)
 	opts.Trace = *traceFile != "" || *stats
-	res, err := scalesim.Simulate(m, wl, opts)
-	if err != nil {
-		log.Fatal(err)
+
+	var res *scalesim.SimResult
+	if *storeDir != "" {
+		// Route through the campaign engine so the durable store serves
+		// (and records) the design point.
+		campaign := scalesim.Campaign{
+			Jobs:  []scalesim.CampaignJob{{Machine: m, Benchmarks: wl, Options: opts}},
+			Store: *storeDir,
+		}
+		cres, err := scalesim.RunCampaign(campaign)
+		if err != nil {
+			log.Fatal(err)
+		}
+		oc := cres.Outcomes[0]
+		if oc.Err != nil {
+			log.Fatal(oc.Err)
+		}
+		res = oc.Result
+		fmt.Printf("store: %s (%s)\n", oc.Source, cres.Stats)
+	} else {
+		res, err = scalesim.Simulate(m, wl, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -226,6 +253,29 @@ func cmdStats(args []string) {
 		log.Fatalf("stats: %s holds no epoch snapshots", *traceFile)
 	}
 	fmt.Println(scalesim.SummarizeTrace(trace).String())
+}
+
+func cmdStore(args []string) {
+	fs := flag.NewFlagSet("store", flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory to verify")
+	_ = fs.Parse(args)
+	if *dir == "" {
+		log.Fatal("store: -dir is required")
+	}
+	info, err := scalesim.CheckStore(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("store %s (schema %s):\n", *dir, scalesim.StoreSchema)
+	fmt.Printf("  %d verified artifacts (%d bytes)\n", info.Artifacts, info.Bytes)
+	fmt.Printf("  %d corrupt, %d quarantined, %d interrupted jobs\n",
+		info.Corrupt, info.Quarantined, info.Interrupted)
+	for _, k := range info.CorruptKeys {
+		fmt.Printf("  corrupt: %s\n", k)
+	}
+	if info.Corrupt > 0 {
+		os.Exit(1)
+	}
 }
 
 func cmdPredict(args []string) {
@@ -315,6 +365,7 @@ func cmdSweep(args []string) {
 	cores := fs.Int("cores", 1, "scale-model core count")
 	fast := fs.Bool("fast", true, "reduced fidelity")
 	workers := fs.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS)")
+	storeDir := fs.String("store", "", "durable result store directory: reuse results across invocations")
 	_ = fs.Parse(args)
 
 	type point struct {
@@ -345,7 +396,7 @@ func cmdSweep(args []string) {
 	for i := range wl {
 		wl[i] = *bench
 	}
-	campaign := scalesim.Campaign{Workers: *workers}
+	campaign := scalesim.Campaign{Workers: *workers, Store: *storeDir}
 	for _, p := range points {
 		campaign.Jobs = append(campaign.Jobs, scalesim.CampaignJob{
 			Machine:    p.spec,
@@ -355,7 +406,7 @@ func cmdSweep(args []string) {
 	}
 	fmt.Printf("design-space sweep: %s on a %d-core scale model (%d design points)\n",
 		*bench, *cores, len(campaign.Jobs))
-	res, err := scalesim.RunCampaign(context.Background(), campaign)
+	res, err := scalesim.RunCampaignContext(context.Background(), campaign)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -96,7 +96,7 @@ func writeDeterminismPayload(t *testing.T, path string) {
 		o.Seed = seed
 		campaign.Jobs = append(campaign.Jobs, CampaignJob{Machine: spec, Benchmarks: benches, Options: o})
 	}
-	res, err := RunCampaign(context.Background(), campaign)
+	res, err := RunCampaignContext(context.Background(), campaign)
 	if err != nil {
 		t.Fatalf("RunCampaign: %v", err)
 	}

@@ -8,7 +8,9 @@ import (
 	"scalesim/internal/config"
 	"scalesim/internal/fit"
 	"scalesim/internal/metrics"
+	"scalesim/internal/runner"
 	"scalesim/internal/scalemodel"
+	"scalesim/internal/store"
 	"scalesim/internal/trace"
 )
 
@@ -23,6 +25,7 @@ type Experiments struct {
 
 	homog  map[scalemodel.Metric]*scalemodel.HomogeneousData
 	hetero *scalemodel.HeterogeneousData
+	store  *store.Store
 }
 
 // NewExperiments prepares an experiment driver with the paper's defaults:
@@ -72,6 +75,43 @@ func (e *Experiments) Runs() int { return e.lab.Runs() }
 
 // CacheHits reports how many simulations were served from the memo cache.
 func (e *Experiments) CacheHits() int { return e.lab.CacheHits() }
+
+// DiskHits reports how many simulations were served from the durable store.
+func (e *Experiments) DiskHits() int { return e.lab.DiskHits() }
+
+// SetStore attaches the durable result store at dir (created on first use)
+// as a second memoization tier: previously computed design points load from
+// disk instead of simulating, making full-suite regeneration incremental
+// across invocations. Results are bit-identical with or without a store.
+func (e *Experiments) SetStore(dir string) error {
+	st, err := store.Open(dir)
+	if err != nil {
+		return fmt.Errorf("scalesim: opening experiment store: %w", err)
+	}
+	e.store = st
+	e.lab.SetStore(st)
+	return nil
+}
+
+// SetRetry replaces the engine's transient-failure retry policy (the zero
+// value restores the default).
+func (e *Experiments) SetRetry(p RetryPolicy) {
+	if p == (RetryPolicy{}) {
+		e.lab.SetRetry(runner.DefaultRetryPolicy)
+		return
+	}
+	e.lab.SetRetry(runner.RetryPolicy(p))
+}
+
+// Close releases the attached store, if any.
+func (e *Experiments) Close() error {
+	if e.store == nil {
+		return nil
+	}
+	err := e.store.Close()
+	e.store = nil
+	return err
+}
 
 // CampaignReport renders the campaign engine's execution report: job
 // counters plus a per-configuration table of where simulation time went

@@ -108,27 +108,41 @@ type Progress struct {
 
 // CampaignStats aggregates a campaign engine's counters: how many jobs were
 // requested, how many unique simulations actually ran, and how many were
-// deduplicated by the content-addressed cache.
+// deduplicated by the content-addressed cache — in memory or on disk.
+//
+// NOTE: the public scalesim.CampaignStats mirrors this struct field for
+// field (a direct struct conversion); keep names, types, and order in sync.
 type CampaignStats struct {
 	Jobs         int // jobs submitted
-	UniqueRuns   int // simulator invocations (cache misses)
-	CacheHits    int // jobs served from the memo cache
-	PanicRetries int // panics recovered and retried
+	UniqueRuns   int // simulator invocations (computes)
+	CacheHits    int // jobs served from the in-memory memo cache
+	DiskHits     int // jobs served from the durable result store
+	Retries      int // transient failures retried (panics and I/O errors)
+	PanicRetries int // the panic subset of Retries
 	Failures     int // jobs that ended in an error
+	StoreCorrupt int // store artifacts quarantined and recomputed
 }
 
-// HitRate returns the fraction of jobs served from the cache.
+// HitRate returns the fraction of jobs served without simulating — from the
+// in-memory cache or the durable store.
 func (s CampaignStats) HitRate() float64 {
 	if s.Jobs == 0 {
 		return 0
 	}
-	return float64(s.CacheHits) / float64(s.Jobs)
+	return float64(s.CacheHits+s.DiskHits) / float64(s.Jobs)
 }
 
 // String renders the stats as a one-line report.
 func (s CampaignStats) String() string {
-	return fmt.Sprintf("%d jobs: %d simulated, %d cached (%.0f%% hit rate), %d failed",
-		s.Jobs, s.UniqueRuns, s.CacheHits, 100*s.HitRate(), s.Failures)
+	out := fmt.Sprintf("%d jobs: %d simulated, %d cached, %d from store (%.0f%% hit rate), %d failed",
+		s.Jobs, s.UniqueRuns, s.CacheHits, s.DiskHits, 100*s.HitRate(), s.Failures)
+	if s.Retries > 0 {
+		out += fmt.Sprintf(", %d retried", s.Retries)
+	}
+	if s.StoreCorrupt > 0 {
+		out += fmt.Sprintf(", %d corrupt artifacts quarantined", s.StoreCorrupt)
+	}
+	return out
 }
 
 // NamedError pairs a benchmark with its prediction error, for per-benchmark

@@ -23,17 +23,31 @@
 // instead of re-simulating). Keys are byte-stable across processes, so they
 // are also safe to persist.
 //
-// # Isolation
+// A second, durable memoization tier sits behind the in-memory map when a
+// ResultStore is attached (SetStore): a job missing from memory is looked up
+// on disk before simulating, and freshly computed results are written back.
+// Store access is strictly best-effort — a corrupt or unreadable artifact is
+// counted (CampaignStats.StoreCorrupt) and the job recomputed; store write
+// failures never fail the job, whose result is still served from memory.
+//
+// # Isolation and retry
 //
 // A panicking simulation does not kill the campaign: the panic is recovered
-// in the worker, converted into a *PanicError for that one job, and retried
-// up to the engine's retry budget before being reported.
+// in the worker and converted into a *PanicError for that one job.
+// Transient failures — panics, I/O errors, timeouts (see Transient) — are
+// retried with exponential backoff up to the engine's RetryPolicy;
+// deterministic simulation errors are not (retrying a pure function cannot
+// change its answer). Exhausted or non-transient failures are wrapped in
+// ErrJobFailed. Backoff sleeping goes through an injectable function
+// (SetSleep) so tests control time.
 package runner
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -64,26 +78,119 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("runner: simulation panicked: %v", e.Value)
 }
 
+// ErrJobFailed marks a job that exhausted its retry budget or failed with a
+// non-transient error. Test with errors.Is; the underlying cause (including
+// a *PanicError) remains reachable through errors.As.
+var ErrJobFailed = errors.New("job failed")
+
 // RunFunc is the simulation entry point the engine drives; injectable for
 // tests. The default is sim.RunContext.
 type RunFunc func(context.Context, *config.SystemConfig, sim.Workload, sim.Options) (*sim.Result, error)
 
+// Source says where a job's result came from.
+type Source string
+
+const (
+	// SourceCompute: the simulator actually ran for this job.
+	SourceCompute Source = "compute"
+	// SourceMemory: served by the in-memory memo cache, including
+	// deduplication against an identical in-flight job.
+	SourceMemory Source = "memory"
+	// SourceDisk: loaded from the attached ResultStore.
+	SourceDisk Source = "disk"
+)
+
 // Outcome is one job's result within a batch: either a simulation result or
-// an error, plus whether the memo cache served it.
+// an error, plus where it came from and what it cost.
 type Outcome struct {
-	Result   *sim.Result
-	Err      error
+	Result *sim.Result
+	Err    error
+	// Source reports whether the simulator ran (SourceCompute) or the
+	// result was served from memory or disk.
+	Source Source
+	// CacheHit is Source != SourceCompute: the simulator did not run.
 	CacheHit bool
+	// Retries counts failed attempts before the final one (0 normally).
+	Retries int
 	// WallClock is the host time this job occupied a worker — near zero for
 	// cache hits, the simulation time (plus any in-flight wait) otherwise.
 	WallClock time.Duration
 }
 
+// ResultStore is the durable memoization tier (implemented by
+// internal/store). Load reports (result, found, err); a non-nil error means
+// the artifact existed but was unusable — the engine counts it and
+// recomputes. Begin/Fail journal a job's lifecycle so an interrupted
+// campaign can tell killed jobs from failed ones.
+type ResultStore interface {
+	Load(key string) (*sim.Result, bool, error)
+	Begin(key string) error
+	Save(key string, res *sim.Result) error
+	Fail(key string) error
+}
+
+// RetryPolicy bounds transient-failure retries. Attempt n (1-based) that
+// fails transiently sleeps BaseDelay<<(n-1), capped at MaxDelay, before the
+// next attempt, up to MaxAttempts total attempts.
+type RetryPolicy struct {
+	MaxAttempts int           // total attempts (>=1; a value <1 means 1)
+	BaseDelay   time.Duration // backoff before the first retry
+	MaxDelay    time.Duration // backoff cap
+}
+
+// DefaultRetryPolicy is the engine's default: one retry after a short pause.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 2, BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second}
+
+// backoff returns the sleep before retry n (1-based).
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < n; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		return p.MaxDelay
+	}
+	return d
+}
+
+// Transient reports whether an error is worth retrying: recovered panics,
+// I/O errors, and timeouts can succeed on a second attempt; deterministic
+// simulation errors (and context cancellation) cannot.
+func Transient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return true
+	}
+	var sys *os.SyscallError
+	if errors.As(err, &sys) {
+		return true
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var timeout interface{ Timeout() bool }
+	if errors.As(err, &timeout) && timeout.Timeout() {
+		return true
+	}
+	var temp interface{ Temporary() bool }
+	if errors.As(err, &temp) && temp.Temporary() {
+		return true
+	}
+	return false
+}
+
 // entry is one cache slot. done is closed when res/err are final.
 type entry struct {
-	done chan struct{}
-	res  *sim.Result
-	err  error
+	done    chan struct{}
+	res     *sim.Result
+	err     error
+	retries int
 }
 
 // Engine executes jobs on a bounded worker pool with memoization. An Engine
@@ -92,8 +199,10 @@ type entry struct {
 // share their common design points.
 type Engine struct {
 	workers int
-	retries int
+	retry   RetryPolicy
 	run     RunFunc
+	store   ResultStore
+	sleep   func(context.Context, time.Duration) error
 
 	mu      sync.Mutex
 	cache   map[string]*entry
@@ -103,15 +212,31 @@ type Engine struct {
 }
 
 // New returns an engine with the given worker-pool size (<= 0 selects
-// GOMAXPROCS) and one retry after a recovered panic.
+// GOMAXPROCS), the default retry policy, and no durable store.
 func New(workers int) *Engine {
 	return &Engine{
 		workers: workers,
-		retries: 1,
+		retry:   DefaultRetryPolicy,
 		run:     sim.RunContext,
+		sleep:   sleepContext,
 		cache:   make(map[string]*entry),
 		simTime: make(map[string]time.Duration),
 		simRuns: make(map[string]int),
+	}
+}
+
+// sleepContext is the default backoff sleep: a timer racing the context.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -128,6 +253,31 @@ func (e *Engine) SetRunFunc(fn RunFunc) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.run = fn
+}
+
+// SetStore attaches (or, with nil, detaches) the durable memoization tier.
+func (e *Engine) SetStore(s ResultStore) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.store = s
+}
+
+// SetRetry replaces the transient-failure retry policy for subsequent jobs.
+func (e *Engine) SetRetry(p RetryPolicy) {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.retry = p
+}
+
+// SetSleep replaces the backoff sleep function (tests inject a recording
+// clock so retry timing stays deterministic).
+func (e *Engine) SetSleep(fn func(context.Context, time.Duration) error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sleep = fn
 }
 
 // Workers returns the effective pool size.
@@ -208,9 +358,11 @@ func (r Report) String() string {
 	return out
 }
 
-// Run executes one job through the cache. hit reports whether the result
-// came from the cache (or an identical in-flight job).
-func (e *Engine) Run(ctx context.Context, job Job) (res *sim.Result, hit bool, err error) {
+// Run executes one job through the memoization tiers: the in-memory cache,
+// then the durable store (if attached), then the simulator itself. The
+// returned Outcome carries the result or error plus its Source and retry
+// count. WallClock is left zero; RunBatch fills it.
+func (e *Engine) Run(ctx context.Context, job Job) Outcome {
 	key := job.Key()
 	e.mu.Lock()
 	e.stats.Jobs++
@@ -219,51 +371,99 @@ func (e *Engine) Run(ctx context.Context, job Job) (res *sim.Result, hit bool, e
 		e.mu.Unlock()
 		select {
 		case <-ent.done:
-			return ent.res, true, ent.err
+			return Outcome{Result: ent.res, Err: ent.err, Source: SourceMemory, CacheHit: true, Retries: ent.retries}
 		case <-ctx.Done():
-			return nil, true, ctx.Err()
+			return Outcome{Err: ctx.Err(), Source: SourceMemory, CacheHit: true}
 		}
 	}
 	ent := &entry{done: make(chan struct{})}
 	e.cache[key] = ent
-	e.stats.UniqueRuns++
+	store := e.store
 	e.mu.Unlock()
 
-	ent.res, ent.err = e.execute(ctx, job)
+	src := SourceCompute
+	if store != nil {
+		if res, ok, lerr := store.Load(key); ok {
+			ent.res, src = res, SourceDisk
+		} else if lerr != nil {
+			// Quarantined by the store; recompute. Never fatal.
+			e.mu.Lock()
+			e.stats.StoreCorrupt++
+			e.mu.Unlock()
+		}
+	}
+	if src == SourceCompute {
+		if store != nil {
+			_ = store.Begin(key) // best-effort journaling
+		}
+		ent.res, ent.err, ent.retries = e.execute(ctx, job)
+		if store != nil {
+			switch {
+			case ent.err == nil:
+				_ = store.Save(key, ent.res) // best-effort: memory still serves it
+			case !errors.Is(ent.err, context.Canceled) && !errors.Is(ent.err, context.DeadlineExceeded):
+				_ = store.Fail(key)
+			}
+		}
+	}
+
 	e.mu.Lock()
-	if ent.err != nil {
+	switch {
+	case ent.err == nil && src == SourceDisk:
+		e.stats.DiskHits++
+	case ent.err == nil:
+		e.stats.UniqueRuns++
+		e.simTime[job.Config.Name] += ent.res.WallClock
+		e.simRuns[job.Config.Name]++
+	default:
 		e.stats.Failures++
 		// Do not cache cancellation: the same job may be re-submitted with
 		// a live context later and must then actually run.
 		if errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded) {
 			delete(e.cache, key)
-			e.stats.UniqueRuns--
+		} else {
+			e.stats.UniqueRuns++
 		}
-	} else {
-		e.simTime[job.Config.Name] += ent.res.WallClock
-		e.simRuns[job.Config.Name]++
 	}
 	e.mu.Unlock()
 	close(ent.done)
-	return ent.res, false, ent.err
+	return Outcome{Result: ent.res, Err: ent.err, Source: src, CacheHit: src != SourceCompute, Retries: ent.retries}
 }
 
-// execute runs the job with panic isolation, retrying recovered panics up
-// to the engine's retry budget.
-func (e *Engine) execute(ctx context.Context, job Job) (*sim.Result, error) {
+// execute runs the job with panic isolation, retrying transient failures
+// with exponential backoff up to the engine's retry policy. The final error
+// of an exhausted or non-transient failure wraps ErrJobFailed (and, through
+// it, the underlying cause); context errors pass through unwrapped.
+func (e *Engine) execute(ctx context.Context, job Job) (*sim.Result, error, int) {
 	e.mu.Lock()
-	run, retries := e.run, e.retries
+	run, pol, sleep := e.run, e.retry, e.sleep
 	e.mu.Unlock()
-	for attempt := 0; ; attempt++ {
+	if pol.MaxAttempts < 1 {
+		pol.MaxAttempts = 1
+	}
+	retries := 0
+	for attempt := 1; ; attempt++ {
 		res, err := protect(ctx, run, job)
-		var pe *PanicError
-		if err != nil && errors.As(err, &pe) && attempt < retries {
-			e.mu.Lock()
-			e.stats.PanicRetries++
-			e.mu.Unlock()
-			continue
+		if err == nil {
+			return res, nil, retries
 		}
-		return res, err
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err, retries
+		}
+		if attempt >= pol.MaxAttempts || !Transient(err) {
+			return nil, fmt.Errorf("runner: %w after %d attempt(s): %w", ErrJobFailed, attempt, err), retries
+		}
+		retries++
+		e.mu.Lock()
+		e.stats.Retries++
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			e.stats.PanicRetries++
+		}
+		e.mu.Unlock()
+		if serr := sleep(ctx, pol.backoff(retries)); serr != nil {
+			return nil, serr, retries
+		}
 	}
 }
 
@@ -297,25 +497,22 @@ func (e *Engine) RunBatch(ctx context.Context, jobs []Job, progress func(metrics
 		wg        sync.WaitGroup
 		progMu    sync.Mutex
 		completed int
-		hits      int
 	)
 	idx := make(chan int)
 	worker := func() {
 		defer wg.Done()
 		for i := range idx {
 			t0 := time.Now() //simlint:ignore wallclock measures Outcome.WallClock reporting only; never simulated state
-			res, hit, err := e.Run(ctx, jobs[i])
+			oc := e.Run(ctx, jobs[i])
 			//simlint:ignore wallclock measures Outcome.WallClock reporting only; never simulated state
-			out[i] = Outcome{Result: res, Err: err, CacheHit: hit, WallClock: time.Since(t0)}
+			oc.WallClock = time.Since(t0)
+			out[i] = oc
 			progMu.Lock()
 			completed++
-			if hit {
-				hits++
-			}
 			if progress != nil {
 				progress(metrics.Progress{
 					Job: i, Completed: completed, Total: len(jobs),
-					CacheHit: hit, Err: err,
+					CacheHit: oc.CacheHit, Err: oc.Err,
 				})
 			}
 			progMu.Unlock()

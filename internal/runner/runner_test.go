@@ -152,15 +152,22 @@ func TestMemoizationAndStats(t *testing.T) {
 	e, calls := countingEngine(1, 0)
 	ctx := context.Background()
 	for i := 0; i < 3; i++ {
-		res, hit, err := e.Run(ctx, job(7))
-		if err != nil {
-			t.Fatal(err)
+		oc := e.Run(ctx, job(7))
+		if oc.Err != nil {
+			t.Fatal(oc.Err)
 		}
-		if res.ConfigName != "fake-7" {
-			t.Fatalf("wrong result %q", res.ConfigName)
+		if oc.Result.ConfigName != "fake-7" {
+			t.Fatalf("wrong result %q", oc.Result.ConfigName)
 		}
-		if wantHit := i > 0; hit != wantHit {
-			t.Fatalf("run %d: hit=%v", i, hit)
+		if wantHit := i > 0; oc.CacheHit != wantHit {
+			t.Fatalf("run %d: hit=%v", i, oc.CacheHit)
+		}
+		wantSrc := SourceCompute
+		if i > 0 {
+			wantSrc = SourceMemory
+		}
+		if oc.Source != wantSrc {
+			t.Fatalf("run %d: source=%q, want %q", i, oc.Source, wantSrc)
 		}
 	}
 	if calls.Load() != 1 {
@@ -179,8 +186,8 @@ func TestInFlightDeduplication(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, _, err := e.Run(context.Background(), job(1)); err != nil {
-				t.Error(err)
+			if oc := e.Run(context.Background(), job(1)); oc.Err != nil {
+				t.Error(oc.Err)
 			}
 		}()
 	}
@@ -199,11 +206,14 @@ func TestPanicRetryThenSuccess(t *testing.T) {
 		}
 		return fakeResult(o.Seed), nil
 	})
-	res, _, err := e.Run(context.Background(), job(1))
-	if err != nil || res == nil {
-		t.Fatalf("retry did not recover: %v", err)
+	oc := e.Run(context.Background(), job(1))
+	if oc.Err != nil || oc.Result == nil {
+		t.Fatalf("retry did not recover: %v", oc.Err)
 	}
-	if s := e.Stats(); s.PanicRetries != 1 || s.Failures != 0 {
+	if oc.Retries != 1 {
+		t.Fatalf("Outcome.Retries = %d, want 1", oc.Retries)
+	}
+	if s := e.Stats(); s.PanicRetries != 1 || s.Retries != 1 || s.Failures != 0 {
 		t.Fatalf("stats %+v", s)
 	}
 }
@@ -213,10 +223,13 @@ func TestPanicExhaustsRetries(t *testing.T) {
 	e.SetRunFunc(func(context.Context, *config.SystemConfig, sim.Workload, sim.Options) (*sim.Result, error) {
 		panic("permanent")
 	})
-	_, _, err := e.Run(context.Background(), job(1))
+	err := e.Run(context.Background(), job(1)).Err
 	var pe *PanicError
 	if !errors.As(err, &pe) {
 		t.Fatalf("err %v, want *PanicError", err)
+	}
+	if !errors.Is(err, ErrJobFailed) {
+		t.Fatalf("exhausted job error %v does not wrap ErrJobFailed", err)
 	}
 	if pe.Value != "permanent" || len(pe.Stack) == 0 {
 		t.Fatalf("panic detail lost: %+v", pe)
@@ -241,8 +254,7 @@ func TestCancellationNotCached(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 		cancel()
 	}()
-	_, _, err := e.Run(ctx, job(1))
-	if !errors.Is(err, context.Canceled) {
+	if err := e.Run(ctx, job(1)).Err; !errors.Is(err, context.Canceled) {
 		t.Fatalf("err %v", err)
 	}
 	// Resubmitting with a live context must actually run, not replay the
@@ -251,9 +263,9 @@ func TestCancellationNotCached(t *testing.T) {
 		calls.Add(1)
 		return fakeResult(o.Seed), nil
 	})
-	res, hit, err := e.Run(context.Background(), job(1))
-	if err != nil || hit {
-		t.Fatalf("resubmit: res=%v hit=%v err=%v", res, hit, err)
+	oc := e.Run(context.Background(), job(1))
+	if oc.Err != nil || oc.CacheHit {
+		t.Fatalf("resubmit: res=%v hit=%v err=%v", oc.Result, oc.CacheHit, oc.Err)
 	}
 	if s := e.Stats(); s.UniqueRuns != 1 {
 		t.Fatalf("cancelled run still counted: %+v", s)

@@ -53,6 +53,14 @@ func NewLab(opts sim.Options) *Lab {
 // Results are bit-identical for any worker count; only wall-clock changes.
 func (l *Lab) SetWorkers(n int) { l.engine.SetWorkers(n) }
 
+// SetStore attaches a durable result store as the engine's second
+// memoization tier (nil detaches). Results are bit-identical with or
+// without a store; only recomputation cost changes.
+func (l *Lab) SetStore(s runner.ResultStore) { l.engine.SetStore(s) }
+
+// SetRetry replaces the engine's transient-failure retry policy.
+func (l *Lab) SetRetry(p runner.RetryPolicy) { l.engine.SetRetry(p) }
+
 // WithContext returns a Lab variant whose simulations are bounded by ctx:
 // cancellation propagates into the simulator's epoch loop.
 func (l *Lab) WithContext(ctx context.Context) *Lab {
@@ -92,6 +100,9 @@ func (l *Lab) Runs() int { return l.engine.Stats().UniqueRuns }
 // CacheHits reports how many runs were served from the memo cache.
 func (l *Lab) CacheHits() int { return l.engine.Stats().CacheHits }
 
+// DiskHits reports how many runs were served from the durable store.
+func (l *Lab) DiskHits() int { return l.engine.Stats().DiskHits }
+
 // SimTime reports accumulated simulator wall-clock per configuration name.
 func (l *Lab) SimTime() map[string]time.Duration { return l.engine.SimTime() }
 
@@ -119,8 +130,8 @@ func (l *Lab) ScaleModelConfig(cores int) (*config.SystemConfig, error) {
 // Run simulates wl on cfg through the shared engine, returning a cached
 // result when the same run was already performed.
 func (l *Lab) Run(cfg *config.SystemConfig, wl sim.Workload) (*sim.Result, error) {
-	res, _, err := l.engine.Run(l.context(), runner.Job{Config: cfg, Workload: wl, Options: l.Opts})
-	return res, err
+	oc := l.engine.Run(l.context(), runner.Job{Config: cfg, Workload: wl, Options: l.Opts})
+	return oc.Result, oc.Err
 }
 
 // Prewarm fans the given jobs out across the engine's worker pool, filling

@@ -1,0 +1,419 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"scalesim/internal/sim"
+)
+
+// sampleResult builds a representative result with every field class the
+// artifact must round-trip: strings, ints, floats, durations, and a trace.
+func sampleResult() *sim.Result {
+	return &sim.Result{
+		ConfigName:      "2:PRS",
+		ElapsedCycles:   123456,
+		DRAMUtilization: 0.375,
+		NoCUtilization:  0.0625,
+		WallClock:       17 * time.Millisecond,
+		Cores: []sim.CoreResult{
+			{
+				Core: 0, Benchmark: "mcf", Instructions: 60000, Cycles: 120000,
+				IPC: 0.5, BWBytesPerCycle: 1.25, BWShare: 0.625,
+				L1DMPKI: 12.5, L2MPKI: 6.25, LLCMPKI: 3.125, LLCMisses: 187,
+				BranchMispredictRate: 0.03125,
+				BaseCycles:           60000, BranchCycles: 10000, MemoryCycles: 40000, FrontendCycles: 10000,
+			},
+			{Core: 1, Benchmark: "lbm", Instructions: 60000, Cycles: 90000, IPC: 0.6666666666666666},
+		},
+		Trace: []sim.EpochSnapshot{
+			{Epoch: 0, EndCycle: 10000, DRAMUtilization: 0.25},
+			{Epoch: 1, EndCycle: 20000, DRAMUtilization: 0.5},
+		},
+	}
+}
+
+func open(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := open(t, t.TempDir())
+	const key = "aabbccdd00112233"
+	want := sampleResult()
+
+	if res, ok, err := s.Load(key); res != nil || ok || err != nil {
+		t.Fatalf("Load before Save = (%v, %v, %v), want (nil, false, nil)", res, ok, err)
+	}
+	if err := s.Begin(key); err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	if err := s.Save(key, want); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, ok, err := s.Load(key)
+	if err != nil || !ok {
+		t.Fatalf("Load after Save = (_, %v, %v), want (_, true, nil)", ok, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	st := s.Stats()
+	if st.Writes != 1 || st.Hits != 1 || st.Misses != 1 || st.Corrupt != 0 {
+		t.Errorf("stats = %+v, want Writes=1 Hits=1 Misses=1 Corrupt=0", st)
+	}
+}
+
+// TestReopenServesArtifacts pins cross-handle durability: a second handle on
+// the same directory serves artifacts the first wrote.
+func TestReopenServesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	s1 := open(t, dir)
+	want := sampleResult()
+	if err := s1.Save("k1", want); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	s1.Close()
+
+	s2 := open(t, dir)
+	got, ok, err := s2.Load("k1")
+	if err != nil || !ok {
+		t.Fatalf("Load from reopened store = (_, %v, %v)", ok, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("reopened round-trip mismatch")
+	}
+	if n := len(s2.Interrupted()); n != 0 {
+		t.Errorf("completed job reported as interrupted: %v", s2.Interrupted())
+	}
+}
+
+// TestSaveIsByteStable pins bit-transparency at the artifact layer: saving
+// the same result twice produces byte-identical files.
+func TestSaveIsByteStable(t *testing.T) {
+	s := open(t, t.TempDir())
+	res := sampleResult()
+	if err := s.Save("k1", res); err != nil {
+		t.Fatalf("Save k1: %v", err)
+	}
+	if err := s.Save("k2", res); err != nil {
+		t.Fatalf("Save k2: %v", err)
+	}
+	a, err := os.ReadFile(s.objectPath("k1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(s.objectPath("k2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The embedded key differs; the result payload and checksum must not.
+	stripKey := func(data []byte) string {
+		return strings.Replace(string(data), `"key":"k1"`, `"key":"KEY"`, 1)
+	}
+	if sa, sb := stripKey(a), strings.Replace(string(b), `"key":"k2"`, `"key":"KEY"`, 1); sa != sb {
+		t.Errorf("same result produced different artifact bytes:\n%s\n%s", sa, stripKey([]byte(sb)))
+	}
+}
+
+func TestTruncatedArtifactQuarantined(t *testing.T) {
+	s := open(t, t.TempDir())
+	const key = "deadbeef"
+	if err := s.Save(key, sampleResult()); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	path := s.objectPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, ok, lerr := s.Load(key)
+	if res != nil || ok {
+		t.Fatalf("Load of truncated artifact = (%v, %v), want miss", res, ok)
+	}
+	if !errors.Is(lerr, ErrCorrupt) {
+		t.Errorf("Load error = %v, want wrapping ErrCorrupt", lerr)
+	}
+	if _, err := os.Lstat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("corrupt artifact still at object path (err=%v), want quarantined", err)
+	}
+	q := filepath.Join(s.Dir(), "quarantine", key+".json")
+	if _, err := os.Lstat(q); err != nil {
+		t.Errorf("quarantined artifact missing at %s: %v", q, err)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Errorf("Stats.Corrupt = %d, want 1", st.Corrupt)
+	}
+	// The slot is reusable: a fresh Save then Load succeeds.
+	if err := s.Save(key, sampleResult()); err != nil {
+		t.Fatalf("re-Save after quarantine: %v", err)
+	}
+	if _, ok, err := s.Load(key); !ok || err != nil {
+		t.Fatalf("Load after re-Save = (_, %v, %v)", ok, err)
+	}
+}
+
+func TestChecksumMismatchQuarantined(t *testing.T) {
+	s := open(t, t.TempDir())
+	const key = "cafe0123"
+	if err := s.Save(key, sampleResult()); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	path := s.objectPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one digit inside the serialised result without breaking JSON.
+	tampered := strings.Replace(string(data), `"ElapsedCycles":123456`, `"ElapsedCycles":123457`, 1)
+	if tampered == string(data) {
+		t.Fatalf("tamper target not found in artifact: %s", data)
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, lerr := s.Load(key)
+	if ok || !errors.Is(lerr, ErrCorrupt) {
+		t.Errorf("Load of tampered artifact = (ok=%v, err=%v), want miss wrapping ErrCorrupt", ok, lerr)
+	}
+}
+
+func TestUnknownArtifactSchemaRejected(t *testing.T) {
+	s := open(t, t.TempDir())
+	const key = "f00dfeed"
+	if err := s.Save(key, sampleResult()); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	path := s.objectPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := strings.Replace(string(data), ArtifactSchema, "scalesim/store/v99", 1)
+	if err := os.WriteFile(path, []byte(future), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, lerr := s.Load(key)
+	if ok || !errors.Is(lerr, ErrUnknownSchema) {
+		t.Errorf("Load of future-schema artifact = (ok=%v, err=%v), want miss wrapping ErrUnknownSchema", ok, lerr)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Errorf("Stats.Corrupt = %d, want 1 (unknown schema quarantines too)", st.Corrupt)
+	}
+}
+
+func TestKeyMismatchQuarantined(t *testing.T) {
+	s := open(t, t.TempDir())
+	if err := s.Save("rightkey", sampleResult()); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// Copy the artifact under a different key's object path.
+	data, err := os.ReadFile(s.objectPath("rightkey"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := s.objectPath("wrongkey")
+	if err := os.MkdirAll(filepath.Dir(wrong), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wrong, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, lerr := s.Load("wrongkey")
+	if ok || !errors.Is(lerr, ErrCorrupt) {
+		t.Errorf("Load of mis-keyed artifact = (ok=%v, err=%v), want miss wrapping ErrCorrupt", ok, lerr)
+	}
+}
+
+// TestJournalResume pins the resume contract: keys started but never
+// finished are reported as interrupted by the next Open; completed and
+// failed keys are not.
+func TestJournalResume(t *testing.T) {
+	dir := t.TempDir()
+	s1 := open(t, dir)
+	if err := s1.Begin("finished"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Save("finished", sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Begin("failed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Fail("failed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Begin("killed-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Begin("killed-a"); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close() // simulate the process dying with two jobs in flight
+
+	s2 := open(t, dir)
+	got := s2.Interrupted()
+	want := []string{"killed-a", "killed-b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Interrupted() = %v, want %v (sorted)", got, want)
+	}
+	if st := s2.Stats(); st.Interrupted != 2 {
+		t.Errorf("Stats.Interrupted = %d, want 2", st.Interrupted)
+	}
+}
+
+// TestJournalPartialLineTolerated simulates a crash mid-append: the partial
+// trailing line is ignored, everything before it replays normally.
+func TestJournalPartialLineTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s1 := open(t, dir)
+	if err := s1.Begin("whole"); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	f, err := os.OpenFile(journalPath(dir), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("done wh"); err != nil { // no newline: torn write
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := open(t, dir)
+	if got := s2.Interrupted(); !reflect.DeepEqual(got, []string{"whole"}) {
+		t.Errorf("Interrupted() = %v, want [whole] (torn done line must not count)", got)
+	}
+}
+
+func TestJournalUnknownVersionRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(journalPath(dir), []byte("scalesim/journal/v99\nstart k\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(dir)
+	if !errors.Is(err, ErrUnknownSchema) {
+		t.Errorf("Open with future journal = %v, want wrapping ErrUnknownSchema", err)
+	}
+}
+
+func TestReadArtifact(t *testing.T) {
+	s := open(t, t.TempDir())
+	want := sampleResult()
+	if err := s.Save("abcd", want); err != nil {
+		t.Fatal(err)
+	}
+	got, key, err := ReadArtifact(s.objectPath("abcd"))
+	if err != nil {
+		t.Fatalf("ReadArtifact: %v", err)
+	}
+	if key != "abcd" {
+		t.Errorf("key = %q, want abcd", key)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ReadArtifact result mismatch")
+	}
+	if _, _, err := ReadArtifact(filepath.Join(s.Dir(), "nope.json")); err == nil {
+		t.Error("ReadArtifact of missing file succeeded")
+	}
+}
+
+func TestCheck(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.Save("good1", sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("good2", sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("bad111", sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	path := s.objectPath("bad111")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin("inflight"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	info, err := Check(dir)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if info.Artifacts != 2 || info.Corrupt != 1 || info.Interrupted != 1 {
+		t.Errorf("Check = %+v, want Artifacts=2 Corrupt=1 Interrupted=1", info)
+	}
+	if !reflect.DeepEqual(info.CorruptKeys, []string{"bad111"}) {
+		t.Errorf("CorruptKeys = %v, want [bad111]", info.CorruptKeys)
+	}
+	if info.Bytes <= 0 {
+		t.Errorf("Bytes = %d, want > 0", info.Bytes)
+	}
+	// Check is read-only: the corrupt artifact stays in place.
+	if _, err := os.Lstat(path); err != nil {
+		t.Errorf("Check moved the corrupt artifact: %v", err)
+	}
+
+	// An empty directory checks clean.
+	empty, err := Check(t.TempDir())
+	if err != nil {
+		t.Fatalf("Check(empty): %v", err)
+	}
+	if empty.Artifacts != 0 || empty.Corrupt != 0 {
+		t.Errorf("Check(empty) = %+v", empty)
+	}
+}
+
+// TestNoTempFilesLeft pins that Save leaves no .tmp- droppings behind.
+func TestNoTempFilesLeft(t *testing.T) {
+	s := open(t, t.TempDir())
+	for _, k := range []string{"k1", "k2", "k3"} {
+		if err := s.Save(k, sampleResult()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := filepath.WalkDir(s.Dir(), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if strings.HasPrefix(d.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortKeySharding(t *testing.T) {
+	s := open(t, t.TempDir())
+	if err := s.Save("k", sampleResult()); err != nil {
+		t.Fatalf("Save with 1-char key: %v", err)
+	}
+	if _, ok, err := s.Load("k"); !ok || err != nil {
+		t.Fatalf("Load with 1-char key = (_, %v, %v)", ok, err)
+	}
+}

@@ -28,9 +28,10 @@
 //	fmt.Printf("predicted 32-core IPC: %.3f\n", pred)
 //
 // The context-aware entry points (SimulateContext, SimulateParallelContext,
-// RunCampaign) are the preferred API: they honour cancellation and
+// RunCampaignContext) are the preferred API: they honour cancellation and
 // deadlines down to the simulator's epoch loop. The context-free wrappers
-// remain for convenience.
+// remain for convenience; each delegates to its *Context counterpart (a
+// pairing pinned by test).
 //
 // See the examples/ directory for complete programs and DESIGN.md for the
 // architecture and the paper-to-module map.
@@ -42,7 +43,9 @@ import (
 	"fmt"
 
 	"scalesim/internal/config"
+	"scalesim/internal/runner"
 	"scalesim/internal/sim"
+	"scalesim/internal/store"
 	"scalesim/internal/trace"
 )
 
@@ -61,6 +64,20 @@ var (
 	// ErrUnknownBenchmark reports a benchmark name that is neither in the
 	// suite nor among the supplied custom profiles.
 	ErrUnknownBenchmark = errors.New("unknown benchmark")
+	// ErrUnknownSchema reports a versioned payload — a store artifact, the
+	// store journal, or a JSONL trace header — whose schema tag this build
+	// does not understand.
+	ErrUnknownSchema = store.ErrUnknownSchema
+	// ErrStoreCorrupt reports a durable-store artifact that failed
+	// verification (unparseable bytes, checksum or key mismatch). During a
+	// campaign this is handled internally — the artifact is quarantined
+	// and the job recomputed — so it surfaces only from the offline
+	// artifact API (CheckStore, ReadArtifact).
+	ErrStoreCorrupt = store.ErrCorrupt
+	// ErrJobFailed marks a campaign job that exhausted its retry budget or
+	// failed with a non-transient error; the underlying cause remains
+	// reachable with errors.As / errors.Is.
+	ErrJobFailed = runner.ErrJobFailed
 )
 
 // SimOptions controls simulation fidelity and cost. The zero value of any

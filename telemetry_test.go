@@ -2,6 +2,7 @@ package scalesim
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -72,6 +73,40 @@ func TestTraceJSONLRoundTrip(t *testing.T) {
 	}
 	if _, err := ReadTraceJSONL(strings.NewReader("{not json")); err == nil {
 		t.Fatal("malformed trace accepted")
+	}
+}
+
+func TestTraceSchemaHeader(t *testing.T) {
+	res := tracedRun(t, false)
+	var buf bytes.Buffer
+	if err := WriteTraceJSONL(&buf, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	first, _, ok := strings.Cut(buf.String(), "\n")
+	if !ok || first != `{"schema":"`+TraceSchema+`"}` {
+		t.Fatalf("first trace line = %q, want schema header for %s", first, TraceSchema)
+	}
+
+	// Headerless v0 traces (e.g. from a streaming sink) still read.
+	_, body, _ := strings.Cut(buf.String(), "\n")
+	v0, err := ReadTraceJSONL(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("headerless v0 trace rejected: %v", err)
+	}
+	if !reflect.DeepEqual(v0, res.Trace) {
+		t.Fatalf("headerless read lost data: %d epochs, want %d", len(v0), len(res.Trace))
+	}
+
+	// An unknown schema tag fails loudly instead of misreading.
+	future := `{"schema":"scalesim/trace/v99"}` + "\n" + body
+	if _, err := ReadTraceJSONL(strings.NewReader(future)); !errors.Is(err, ErrUnknownSchema) {
+		t.Fatalf("future trace schema: err = %v, want wrapping ErrUnknownSchema", err)
+	}
+
+	// A header-only trace is empty, not an error.
+	empty, err := ReadTraceJSONL(strings.NewReader(`{"schema":"` + TraceSchema + `"}` + "\n"))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("header-only trace = (%d epochs, %v)", len(empty), err)
 	}
 }
 

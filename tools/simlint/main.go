@@ -49,6 +49,7 @@ func defaultConfig(root string) Config {
 			"internal/dram",
 			"internal/scalemodel",
 			"internal/runner",
+			"internal/store",
 		},
 		KeyFile:  "internal/runner/key.go",
 		KeyRoots: []string{"internal/runner.Job"},
