@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"scalesim/internal/config"
+	"scalesim/internal/units"
 )
 
 // Stats counts events at one cache level (or one LLC slice).
@@ -128,8 +129,8 @@ func (l *Level) Assoc() int { return l.assoc }
 func (l *Level) LineSize() int { return 1 << l.lineShift }
 
 // CapacityBytes returns the (scaled) capacity.
-func (l *Level) CapacityBytes() int64 {
-	return int64(l.sets) * int64(l.assoc) * int64(l.LineSize())
+func (l *Level) CapacityBytes() units.Bytes {
+	return units.Bytes(int64(l.sets) * int64(l.assoc) * int64(l.LineSize()))
 }
 
 // LineAddr converts a byte address to a line address.
@@ -328,8 +329,8 @@ func (n *NUCA) TotalStats() Stats {
 }
 
 // CapacityBytes returns the total (scaled) LLC capacity.
-func (n *NUCA) CapacityBytes() int64 {
-	var t int64
+func (n *NUCA) CapacityBytes() units.Bytes {
+	var t units.Bytes
 	for _, s := range n.slices {
 		t += s.CapacityBytes()
 	}

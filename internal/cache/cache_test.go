@@ -23,7 +23,7 @@ func TestGeometry(t *testing.T) {
 		t.Fatalf("geometry sets=%d assoc=%d line=%d, want 64/8/64", l.Sets(), l.Assoc(), l.LineSize())
 	}
 	if l.CapacityBytes() != 32*1024 {
-		t.Fatalf("capacity %d, want 32768", l.CapacityBytes())
+		t.Fatalf("capacity %v, want 32768", l.CapacityBytes())
 	}
 	scaled := mustLevel(t, 32*config.KB, 8, 8)
 	if scaled.Sets() != 8 {

@@ -17,6 +17,7 @@ import (
 	"scalesim/internal/branch"
 	"scalesim/internal/config"
 	"scalesim/internal/trace"
+	"scalesim/internal/units"
 )
 
 // MemLevel identifies where a memory access was served.
@@ -47,9 +48,9 @@ func (l MemLevel) String() string {
 
 // MemResult describes a resolved data access.
 type MemResult struct {
-	// Latency is the full load-to-use latency in cycles, including NoC and
-	// DRAM queuing components.
-	Latency float64
+	// Latency is the full load-to-use latency, including NoC and DRAM
+	// queuing components.
+	Latency units.Cycles
 	// Level is the hierarchy level that served the access.
 	Level MemLevel
 }
@@ -63,24 +64,24 @@ type MemSystem interface {
 	// result is used only for store-buffer pressure modelling).
 	Store(core int, addr uint64) MemResult
 	// IFetch resolves an instruction fetch of the line at addr, returning
-	// the front-end stall in cycles. Sequential fetches (jump=false) are
+	// the front-end stall. Sequential fetches (jump=false) are
 	// next-line-prefetchable: they warm the caches but never stall.
-	IFetch(core int, addr uint64, jump bool) float64
+	IFetch(core int, addr uint64, jump bool) units.Cycles
 }
 
 // Stats aggregates a core's execution counters.
 type Stats struct {
 	Instructions uint64
-	Cycles       float64
+	Cycles       units.Cycles
 	Loads        uint64
 	Stores       uint64
 	LoadsAt      [5]uint64 // indexed by MemLevel
 	Branch       branch.Stats
 	// Stall cycle decomposition (approximate, for reporting).
-	BaseCycles     float64
-	BranchCycles   float64
-	MemoryCycles   float64
-	FrontendCycles float64
+	BaseCycles     units.Cycles
+	BranchCycles   units.Cycles
+	MemoryCycles   units.Cycles
+	FrontendCycles units.Cycles
 }
 
 // IPC returns retired instructions per cycle.
@@ -88,7 +89,7 @@ func (s *Stats) IPC() float64 {
 	if s.Cycles == 0 {
 		return 0
 	}
-	return float64(s.Instructions) / s.Cycles
+	return float64(s.Instructions) / float64(s.Cycles)
 }
 
 // Core is one out-of-order core executing one benchmark instance.
@@ -100,9 +101,9 @@ type Core struct {
 	mem  MemSystem
 
 	// Derived timing parameters.
-	baseCPI    float64 // max(profile ILP limit, dispatch width limit)
-	hideCycles float64 // latency the OoO window hides per isolated miss
-	effMLP     float64 // overlap factor for independent misses
+	baseCPI    units.Cycles // max(profile ILP limit, dispatch width limit)
+	hideCycles units.Cycles // latency the OoO window hides per isolated miss
+	effMLP     float64      // overlap factor for independent misses
 
 	// Fetch pacing: one I-fetch per fetchGroup instructions.
 	fetchGroup  int
@@ -149,8 +150,8 @@ func New(id int, cfg config.CoreConfig, gen *trace.Generator, pred branch.Predic
 		gen:        gen,
 		pred:       pred,
 		mem:        mem,
-		baseCPI:    baseCPI,
-		hideCycles: hide,
+		baseCPI:    units.Cycles(baseCPI),
+		hideCycles: units.Cycles(hide),
 		effMLP:     mlp,
 		fetchGroup: lineInstr,
 	}, nil
@@ -165,7 +166,7 @@ func (c *Core) Generator() *trace.Generator { return c.gen }
 // Run executes until cycleBudget cycles are consumed or instrBudget total
 // retired instructions are reached, returning the cycles actually consumed
 // in this call. Run can be invoked repeatedly (epoch by epoch).
-func (c *Core) Run(cycleBudget float64, instrBudget uint64) float64 {
+func (c *Core) Run(cycleBudget units.Cycles, instrBudget uint64) units.Cycles {
 	start := c.Stats.Cycles
 	for c.Stats.Cycles-start < cycleBudget && c.Stats.Instructions < instrBudget {
 		c.step()
@@ -195,7 +196,7 @@ func (c *Core) step() {
 	switch op.Kind {
 	case trace.OpBranch:
 		if c.Stats.Branch.Record(c.pred, op.BranchPC, op.Taken) {
-			cost := float64(c.cfg.MispredictCost)
+			cost := units.Cycles(c.cfg.MispredictCost)
 			c.Stats.Cycles += cost
 			c.Stats.BranchCycles += cost
 		}
@@ -211,7 +212,7 @@ func (c *Core) step() {
 			return
 		}
 		if !op.Dependent {
-			visible /= c.effMLP
+			visible = visible.Scale(1 / c.effMLP)
 		}
 		c.Stats.Cycles += visible
 		c.Stats.MemoryCycles += visible
@@ -228,7 +229,7 @@ func (c *Core) step() {
 		if visible <= 0 {
 			return
 		}
-		visible /= 2 * c.effMLP
+		visible = visible.Scale(1 / (2 * c.effMLP))
 		c.Stats.Cycles += visible
 		c.Stats.MemoryCycles += visible
 	}

@@ -6,12 +6,13 @@ import (
 	"scalesim/internal/branch"
 	"scalesim/internal/config"
 	"scalesim/internal/trace"
+	"scalesim/internal/units"
 )
 
 // fakeMem serves every load at a fixed level/latency.
 type fakeMem struct {
 	level   MemLevel
-	latency float64
+	latency units.Cycles
 	loads   int
 	stores  int
 	ifetch  int
@@ -27,7 +28,7 @@ func (f *fakeMem) Store(core int, addr uint64) MemResult {
 	return MemResult{Latency: f.latency, Level: f.level}
 }
 
-func (f *fakeMem) IFetch(core int, addr uint64, jump bool) float64 {
+func (f *fakeMem) IFetch(core int, addr uint64, jump bool) units.Cycles {
 	f.ifetch++
 	return 0
 }
@@ -112,8 +113,8 @@ func TestMLPAmortisesIndependentMisses(t *testing.T) {
 	lo := newCore(t, "mcf", &fakeMem{level: LevelDRAM, latency: 300})
 	lo.Run(1e9, 100000)
 	// Compare memory stall per load rather than raw IPC (different mixes).
-	hiStall := hi.Stats.MemoryCycles / float64(hi.Stats.Loads)
-	loStall := lo.Stats.MemoryCycles / float64(lo.Stats.Loads)
+	hiStall := float64(hi.Stats.MemoryCycles) / float64(hi.Stats.Loads)
+	loStall := float64(lo.Stats.MemoryCycles) / float64(lo.Stats.Loads)
 	if hiStall >= loStall {
 		t.Fatalf("high-MLP stall/load %.1f >= low-MLP stall/load %.1f", hiStall, loStall)
 	}
@@ -129,7 +130,7 @@ func TestDependentLoadsPayFullLatency(t *testing.T) {
 	full := 300 - hide
 	// mcf profile: 5.5% of region accesses are chases; dependent loads pay
 	// `full`, independent ones pay full/MLP. Average must sit between.
-	avg := c.Stats.MemoryCycles / float64(c.Stats.Loads+c.Stats.Stores)
+	avg := float64(c.Stats.MemoryCycles) / float64(c.Stats.Loads+c.Stats.Stores)
 	if avg <= full/10 || avg >= full {
 		t.Fatalf("avg stall %.1f outside (%.1f, %.1f)", avg, full/10, full)
 	}
@@ -149,8 +150,8 @@ func TestBranchMispredictsCharged(t *testing.T) {
 		t.Fatal("no branch penalty cycles charged")
 	}
 	wantPenalty := float64(c.Stats.Branch.Mispredicts) * float64(coreConfig().MispredictCost)
-	if c.Stats.BranchCycles != wantPenalty {
-		t.Fatalf("branch cycles %.0f, want mispredicts x cost = %.0f", c.Stats.BranchCycles, wantPenalty)
+	if float64(c.Stats.BranchCycles) != wantPenalty {
+		t.Fatalf("branch cycles %.0f, want mispredicts x cost = %.0f", float64(c.Stats.BranchCycles), wantPenalty)
 	}
 }
 

@@ -15,16 +15,17 @@ import (
 	"fmt"
 
 	"scalesim/internal/config"
+	"scalesim/internal/units"
 )
 
 // Memory is the DRAM subsystem state for one simulated machine.
 type Memory struct {
 	mcs         int
-	bytesPerCyc float64 // per-controller capacity, bytes per core cycle
-	baseLatency float64
+	bytesPerCyc units.BytesPerCycle // per-controller capacity
+	baseLatency units.Cycles
 
-	epochBytes []float64 // demand accumulated this epoch, per controller
-	util       []float64 // smoothed utilization, per controller
+	epochBytes []units.Bytes // demand accumulated this epoch, per controller
+	util       []float64     // smoothed utilization, per controller
 
 	// Row-buffer efficiency: interleaved request streams from many cores
 	// destroy per-controller row locality, reducing the usable fraction of
@@ -35,11 +36,15 @@ type Memory struct {
 	eff          []float64
 
 	// Cumulative statistics.
-	perCoreBytes []float64
+	perCoreBytes []units.Bytes
 	TotalReads   uint64
 	TotalWrites  uint64
-	TotalBytes   float64
+	TotalBytes   units.Bytes
 }
+
+// lineBytes is the transfer granularity: every access moves one 64-byte
+// line, and the M/D/1 service time is that of one line.
+const lineBytes = units.Bytes(64)
 
 // New builds the DRAM model from cfg for a machine clocked at freqGHz with
 // cores cores (for per-core bandwidth attribution).
@@ -55,13 +60,13 @@ func New(cfg config.DRAMConfig, freqGHz float64, cores int) (*Memory, error) {
 	}
 	m := &Memory{
 		mcs:          cfg.Controllers,
-		bytesPerCyc:  float64(cfg.PerControllerGBps) / freqGHz,
-		baseLatency:  float64(cfg.BaseLatency),
-		epochBytes:   make([]float64, cfg.Controllers),
+		bytesPerCyc:  units.FromGBps(float64(cfg.PerControllerGBps), freqGHz),
+		baseLatency:  units.Cycles(cfg.BaseLatency),
+		epochBytes:   make([]units.Bytes, cfg.Controllers),
 		util:         make([]float64, cfg.Controllers),
 		epochStreams: make([]uint64, cfg.Controllers),
 		eff:          make([]float64, cfg.Controllers),
-		perCoreBytes: make([]float64, cores),
+		perCoreBytes: make([]units.Bytes, cores),
 	}
 	for i := range m.eff {
 		m.eff[i] = 1
@@ -82,12 +87,12 @@ func (m *Memory) MCOf(addr uint64) int {
 
 // Access records a read (write=false) or write of one line at addr by core
 // and returns its latency in cycles under the current load estimate.
-func (m *Memory) Access(core int, addr uint64, bytes int, write bool) float64 {
+func (m *Memory) Access(core int, addr uint64, bytes units.Bytes, write bool) units.Cycles {
 	mc := m.MCOf(addr)
-	m.epochBytes[mc] += float64(bytes)
+	m.epochBytes[mc] += bytes
 	m.epochStreams[mc] |= 1 << (uint(core) % 64)
-	m.perCoreBytes[core] += float64(bytes)
-	m.TotalBytes += float64(bytes)
+	m.perCoreBytes[core] += bytes
+	m.TotalBytes += bytes
 	if write {
 		m.TotalWrites++
 		// Writes are posted: they consume bandwidth but do not stall the
@@ -103,7 +108,7 @@ func (m *Memory) Access(core int, addr uint64, bytes int, write bool) float64 {
 // just below saturation. The CPI feedback loop (higher latency -> lower
 // request rate) provides the real throttling; the cap only bounds the
 // transient.
-func (m *Memory) queueDelay(mc int) float64 {
+func (m *Memory) queueDelay(mc int) units.Cycles {
 	rho := m.util[mc]
 	if rho > 0.98 {
 		rho = 0.98
@@ -111,8 +116,8 @@ func (m *Memory) queueDelay(mc int) float64 {
 	if rho <= 0 {
 		return 0
 	}
-	service := 64 / (m.bytesPerCyc * m.eff[mc])
-	return service * rho / (2 * (1 - rho))
+	service := m.bytesPerCyc.Scale(m.eff[mc]).Transfer(lineBytes)
+	return service.Scale(rho / (2 * (1 - rho)))
 }
 
 // rowEfficiency returns the usable fraction of peak bandwidth when streams
@@ -131,7 +136,7 @@ func rowEfficiency(streams int) float64 {
 
 // EndEpoch folds the demand accounted since the last call into each
 // controller's utilization estimate, given the epoch length in cycles.
-func (m *Memory) EndEpoch(cycles float64) {
+func (m *Memory) EndEpoch(cycles units.Cycles) {
 	if cycles <= 0 {
 		return
 	}
@@ -140,8 +145,8 @@ func (m *Memory) EndEpoch(cycles float64) {
 		if m.epochBytes[mc] > 0 {
 			m.eff[mc] = 0.5*m.eff[mc] + 0.5*rowEfficiency(streams)
 		}
-		capacity := m.bytesPerCyc * m.eff[mc] * cycles
-		inst := m.epochBytes[mc] / capacity
+		capacity := m.bytesPerCyc.Scale(m.eff[mc]).Capacity(cycles)
+		inst := float64(m.epochBytes[mc]) / float64(capacity)
 		if inst > 1.5 {
 			inst = 1.5
 		}
@@ -169,15 +174,15 @@ func popcount(x uint64) int {
 	return n
 }
 
-// QueueDelay returns the mean M/D/1 waiting time (in cycles) across
-// controllers under the current utilization and efficiency estimates — the
-// queuing penalty a read issued now would expect on an average controller.
-func (m *Memory) QueueDelay() float64 {
-	sum := 0.0
+// QueueDelay returns the mean M/D/1 waiting time across controllers under
+// the current utilization and efficiency estimates — the queuing penalty a
+// read issued now would expect on an average controller.
+func (m *Memory) QueueDelay() units.Cycles {
+	sum := units.Cycles(0)
 	for mc := range m.util {
 		sum += m.queueDelay(mc)
 	}
-	return sum / float64(len(m.util))
+	return sum.Scale(1 / float64(len(m.util)))
 }
 
 // Efficiency returns the mean smoothed row-buffer efficiency across
@@ -191,11 +196,11 @@ func (m *Memory) Efficiency() float64 {
 }
 
 // CoreBytes returns the cumulative DRAM traffic attributed to core.
-func (m *Memory) CoreBytes(core int) float64 { return m.perCoreBytes[core] }
+func (m *Memory) CoreBytes(core int) units.Bytes { return m.perCoreBytes[core] }
 
-// BaseLatency returns the unloaded access latency in cycles.
-func (m *Memory) BaseLatency() float64 { return m.baseLatency }
+// BaseLatency returns the unloaded access latency.
+func (m *Memory) BaseLatency() units.Cycles { return m.baseLatency }
 
 // PerControllerBytesPerCycle returns one controller's capacity in bytes per
 // core cycle.
-func (m *Memory) PerControllerBytesPerCycle() float64 { return m.bytesPerCyc }
+func (m *Memory) PerControllerBytesPerCycle() units.BytesPerCycle { return m.bytesPerCyc }

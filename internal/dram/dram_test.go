@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"scalesim/internal/config"
+	"scalesim/internal/units"
 	"scalesim/internal/xrand"
 )
 
@@ -88,7 +89,7 @@ func TestLatencyRisesWithLoad(t *testing.T) {
 	if loaded <= 240+50 {
 		t.Fatalf("loaded latency %v, want well above base 240", loaded)
 	}
-	if math.IsNaN(loaded) || math.IsInf(loaded, 0) || loaded > 1e6 {
+	if math.IsNaN(float64(loaded)) || math.IsInf(float64(loaded), 0) || loaded > 1e6 {
 		t.Fatalf("loaded latency %v unbounded", loaded)
 	}
 }
@@ -97,7 +98,7 @@ func TestFatControllerHasLowerQueueDelay(t *testing.T) {
 	// Same total bandwidth and same utilization: 1 MC @ 16 GB/s drains lines
 	// 4x faster than 4 MCs @ 4 GB/s, so its queue delay is lower. This
 	// asymmetry is what makes MC-first vs MB-first scaling (Fig. 8) differ.
-	run := func(mcs int, per config.GBps) float64 {
+	run := func(mcs int, per config.GBps) units.Cycles {
 		m := newMem(t, mcs, per)
 		rng := xrand.New(9)
 		for e := 0; e < 10; e++ {

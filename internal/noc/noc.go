@@ -14,26 +14,31 @@ import (
 	"fmt"
 
 	"scalesim/internal/config"
+	"scalesim/internal/units"
 )
 
 // Mesh is the mesh NoC state for one simulated machine.
 type Mesh struct {
 	w, h       int
-	hopLatency float64
+	hopLatency units.Cycles
 	// linkBytesPerCycle is the capacity of one cross-section link expressed
 	// in bytes per core clock cycle.
-	linkBytesPerCycle float64
+	linkBytesPerCycle units.BytesPerCycle
 	csls              int
 
 	// Epoch accounting.
-	epochBisectionBytes float64
+	epochBisectionBytes units.Bytes
 	util                float64 // smoothed bisection utilization
 
 	// Cumulative statistics.
 	TotalMessages       uint64
-	TotalBisectionBytes float64
-	TotalBytes          float64
+	TotalBisectionBytes units.Bytes
+	TotalBytes          units.Bytes
 }
+
+// flitBytes is the link arbitration granularity: the service time underlying
+// the M/D/1 queue is that of one 64-byte flit group.
+const flitBytes = units.Bytes(64)
 
 // New builds a mesh from cfg for a machine clocked at freqGHz. Bandwidth is
 // not capacity-scaled: the global miniaturisation shortens runs but the
@@ -52,8 +57,8 @@ func New(cfg config.NoCConfig, freqGHz float64) (*Mesh, error) {
 	return &Mesh{
 		w:                 cfg.MeshWidth,
 		h:                 cfg.MeshHeight,
-		hopLatency:        float64(cfg.HopLatency),
-		linkBytesPerCycle: float64(cfg.LinkGBps) / freqGHz,
+		hopLatency:        units.Cycles(cfg.HopLatency),
+		linkBytesPerCycle: units.FromGBps(float64(cfg.LinkGBps), freqGHz),
 		csls:              cfg.CrossSectionLinks,
 	}, nil
 }
@@ -115,14 +120,14 @@ func (m *Mesh) Route(from, to int) (hops int, crossesBisection bool) {
 // size bytes between two tiles, and records the traffic for epoch
 // accounting. The latency is hop propagation plus, for bisection-crossing
 // messages, the congestion delay derived from last epoch's utilization.
-func (m *Mesh) Latency(from, to int, bytes int) float64 {
+func (m *Mesh) Latency(from, to int, bytes units.Bytes) units.Cycles {
 	hops, crossing := m.Route(from, to)
 	m.TotalMessages++
-	m.TotalBytes += float64(bytes)
-	lat := float64(hops) * m.hopLatency
+	m.TotalBytes += bytes
+	lat := m.hopLatency.Scale(float64(hops))
 	if crossing {
-		m.epochBisectionBytes += float64(bytes)
-		m.TotalBisectionBytes += float64(bytes)
+		m.epochBisectionBytes += bytes
+		m.TotalBisectionBytes += bytes
 		lat += m.queueDelay()
 	}
 	return lat
@@ -131,7 +136,7 @@ func (m *Mesh) Latency(from, to int, bytes int) float64 {
 // queueDelay is an M/D/1-style waiting time on a cross-section link:
 // W = s * rho / (2 * (1 - rho)), with s the service time of a 64-byte flit
 // group and rho the smoothed bisection utilization, capped below 1.
-func (m *Mesh) queueDelay() float64 {
+func (m *Mesh) queueDelay() units.Cycles {
 	rho := m.util
 	if rho > 0.98 {
 		rho = 0.98
@@ -139,20 +144,20 @@ func (m *Mesh) queueDelay() float64 {
 	if rho <= 0 {
 		return 0
 	}
-	service := 64 / m.linkBytesPerCycle
-	return service * rho / (2 * (1 - rho))
+	service := m.linkBytesPerCycle.Transfer(flitBytes)
+	return service.Scale(rho / (2 * (1 - rho)))
 }
 
 // EndEpoch folds the traffic accounted since the previous call into the
 // utilization estimate, given the epoch length in cycles.
-func (m *Mesh) EndEpoch(cycles float64) {
+func (m *Mesh) EndEpoch(cycles units.Cycles) {
 	if cycles <= 0 {
 		return
 	}
-	capacity := m.linkBytesPerCycle * float64(m.csls) * cycles
+	capacity := m.linkBytesPerCycle.Capacity(cycles).Scale(float64(m.csls))
 	inst := 0.0
 	if capacity > 0 {
-		inst = m.epochBisectionBytes / capacity
+		inst = float64(m.epochBisectionBytes) / float64(capacity)
 	}
 	if inst > 1.5 {
 		inst = 1.5 // bounded overshoot; the CPI feedback throttles demand
@@ -166,9 +171,9 @@ func (m *Mesh) EndEpoch(cycles float64) {
 // transiently when demand overshoots capacity).
 func (m *Mesh) Utilization() float64 { return m.util }
 
-// QueueDelay returns the congestion delay (in cycles) currently charged to
+// QueueDelay returns the congestion delay currently charged to
 // bisection-crossing messages — the telemetry view of queueDelay.
-func (m *Mesh) QueueDelay() float64 { return m.queueDelay() }
+func (m *Mesh) QueueDelay() units.Cycles { return m.queueDelay() }
 
 // AverageHops returns the mean XY hop distance between two uniformly random
 // distinct tiles — a sanity metric used in tests and reports.

@@ -140,7 +140,7 @@ func TestUtilizationBounded(t *testing.T) {
 		t.Fatalf("utilization %v exceeds overshoot bound 1.5", u)
 	}
 	// Queue delay must stay finite at saturation.
-	if l := m.Latency(0, 31, 64); math.IsInf(l, 0) || math.IsNaN(l) || l > 1e6 {
+	if l := m.Latency(0, 31, 64); math.IsInf(float64(l), 0) || math.IsNaN(float64(l)) || l > 1e6 {
 		t.Fatalf("saturated latency %v not finite/bounded", l)
 	}
 }

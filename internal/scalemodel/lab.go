@@ -8,6 +8,7 @@ import (
 	"scalesim/internal/runner"
 	"scalesim/internal/sim"
 	"scalesim/internal/trace"
+	"scalesim/internal/units"
 )
 
 // Lab runs and memoises simulations for the experiment protocols. Many of
@@ -192,12 +193,12 @@ func (l *Lab) MixRun(profiles []*trace.Profile) (*sim.Result, error) {
 // PRS). The same application saturating its share reads ~1.0 on the
 // single-core scale model and on the target alike.
 func fairShareBW(cfg *config.SystemConfig, cr sim.CoreResult) float64 {
-	totalBpc := float64(cfg.DRAM.TotalGBps()) / cfg.Core.FrequencyGHz
-	perCore := totalBpc / float64(cfg.Cores)
+	totalBpc := units.FromGBps(float64(cfg.DRAM.TotalGBps()), cfg.Core.FrequencyGHz)
+	perCore := float64(totalBpc) / float64(cfg.Cores)
 	if perCore <= 0 {
 		return 0
 	}
-	return cr.BWBytesPerCycle / perCore
+	return float64(cr.BWBytesPerCycle) / perCore
 }
 
 // Measurement is one application's single-core scale-model reading.

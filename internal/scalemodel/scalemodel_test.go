@@ -11,6 +11,7 @@ import (
 	"scalesim/internal/metrics"
 	"scalesim/internal/sim"
 	"scalesim/internal/trace"
+	"scalesim/internal/units"
 )
 
 // fakeWorld is an analytic stand-in for the simulator: each benchmark has
@@ -59,9 +60,9 @@ func (w fakeWorld) run(cfg *config.SystemConfig, wl sim.Workload, opts sim.Optio
 			Core:            i,
 			Benchmark:       p.Name,
 			Instructions:    100000,
-			Cycles:          100000 / ipc,
+			Cycles:          units.Cycles(100000 / ipc),
 			IPC:             ipc,
-			BWBytesPerCycle: bw0 * eff * perCoreShare,
+			BWBytesPerCycle: units.BytesPerCycle(bw0 * eff * perCoreShare),
 			LLCMPKI:         bw0 * 10,
 		})
 	}

@@ -17,8 +17,8 @@ func TestDebugCPI(t *testing.T) {
 		c := res.Cores[0]
 		t.Logf("%-10s IPC %.3f CPI %.3f base %.3f branch %.3f mem %.3f fe %.3f | L1D %.1f L2 %.1f LLC %.2f MPKI | bw %.3f B/c mispred %.4f\n",
 			name, c.IPC, 1/c.IPC,
-			c.BaseCycles/float64(c.Instructions), c.BranchCycles/float64(c.Instructions),
-			c.MemoryCycles/float64(c.Instructions), c.FrontendCycles/float64(c.Instructions),
+			float64(c.BaseCycles)/float64(c.Instructions), float64(c.BranchCycles)/float64(c.Instructions),
+			float64(c.MemoryCycles)/float64(c.Instructions), float64(c.FrontendCycles)/float64(c.Instructions),
 			c.L1DMPKI, c.L2MPKI, c.LLCMPKI, c.BWBytesPerCycle, c.BranchMispredictRate)
 	}
 }
@@ -72,8 +72,8 @@ func TestDebugTarget32(t *testing.T) {
 		c := res.Cores[5]
 		t.Logf("%-10s IPC %.3f CPI %.3f base %.3f branch %.3f mem %.3f fe %.3f | L1D %.1f L2 %.1f LLC %.2f MPKI | bw %.3f B/c | dramU %.2f nocU %.2f\n",
 			name, c.IPC, 1/c.IPC,
-			c.BaseCycles/float64(c.Instructions), c.BranchCycles/float64(c.Instructions),
-			c.MemoryCycles/float64(c.Instructions), c.FrontendCycles/float64(c.Instructions),
+			float64(c.BaseCycles)/float64(c.Instructions), float64(c.BranchCycles)/float64(c.Instructions),
+			float64(c.MemoryCycles)/float64(c.Instructions), float64(c.FrontendCycles)/float64(c.Instructions),
 			c.L1DMPKI, c.L2MPKI, c.LLCMPKI, c.BWBytesPerCycle, res.DRAMUtilization, res.NoCUtilization)
 	}
 }

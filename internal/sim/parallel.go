@@ -9,6 +9,7 @@ import (
 	"scalesim/internal/config"
 	"scalesim/internal/cpu"
 	"scalesim/internal/trace"
+	"scalesim/internal/units"
 )
 
 // ParallelSpec describes a data-parallel multi-threaded run: one thread per
@@ -25,13 +26,13 @@ type ParallelSpec struct {
 type ThreadResult struct {
 	Thread       int
 	Instructions uint64
-	Cycles       float64
+	Cycles       units.Cycles
 	IPC          float64
 	// BarrierCycles counts cycles spent waiting at barriers (imbalance).
-	BarrierCycles   float64
+	BarrierCycles   units.Cycles
 	Barriers        int
 	LLCMPKI         float64
-	BWBytesPerCycle float64
+	BWBytesPerCycle units.BytesPerCycle
 }
 
 // SpeedupStack decomposes average per-thread execution cycles into the
@@ -58,7 +59,7 @@ type ParallelResult struct {
 	Threads    []ThreadResult
 	// MakespanCycles is the time until the last thread completed its work
 	// (the parallel execution time).
-	MakespanCycles  float64
+	MakespanCycles  units.Cycles
 	Stack           SpeedupStack
 	DRAMUtilization float64
 	NoCUtilization  float64
@@ -75,7 +76,7 @@ func (r *ParallelResult) AggregateIPC() float64 {
 	for _, t := range r.Threads {
 		instr += t.Instructions
 	}
-	return float64(instr) / r.MakespanCycles
+	return float64(instr) / float64(r.MakespanCycles)
 }
 
 // RunParallel simulates spec on cfg with one thread per core. Total work
@@ -173,7 +174,7 @@ func RunParallelContext(ctx context.Context, cfg *config.SystemConfig, spec Para
 	}
 
 	// Measured phase with barrier synchronisation.
-	barrierWait := make([]float64, threads)
+	barrierWait := make([]units.Cycles, threads)
 	barriers := make([]int, threads)
 	nextBarrier := make([]uint64, threads)
 	done := make([]bool, threads)
@@ -203,7 +204,7 @@ func RunParallelContext(ctx context.Context, cfg *config.SystemConfig, spec Para
 		// Barrier release: when every unfinished thread has reached its
 		// pending boundary, synchronise clocks and charge the wait.
 		if everyoneBlocked(m.cores, nextBarrier, work, done) {
-			release := 0.0
+			release := units.Cycles(0)
 			for t, c := range m.cores {
 				if !done[t] && c.Stats.Cycles > release {
 					release = c.Stats.Cycles
@@ -263,14 +264,14 @@ func RunParallelContext(ctx context.Context, cfg *config.SystemConfig, spec Para
 			BarrierCycles:   barrierWait[t],
 			Barriers:        barriers[t],
 			LLCMPKI:         float64(llcMisses) / ki,
-			BWBytesPerCycle: (m.mem.CoreBytes(t) - snaps[t].dramBytes) / cycles,
+			BWBytesPerCycle: (m.mem.CoreBytes(t) - snaps[t].dramBytes).Per(cycles),
 		})
-		stack.Base += st.BaseCycles
-		stack.Branch += st.BranchCycles
-		stack.Memory += st.MemoryCycles
-		stack.Frontend += st.FrontendCycles
-		stack.Barrier += barrierWait[t]
-		totalCycles += cycles
+		stack.Base += float64(st.BaseCycles)
+		stack.Branch += float64(st.BranchCycles)
+		stack.Memory += float64(st.MemoryCycles)
+		stack.Frontend += float64(st.FrontendCycles)
+		stack.Barrier += float64(barrierWait[t])
+		totalCycles += float64(cycles)
 	}
 	if totalCycles > 0 {
 		stack.Base /= totalCycles

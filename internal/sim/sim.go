@@ -35,6 +35,7 @@ import (
 	"scalesim/internal/dram"
 	"scalesim/internal/noc"
 	"scalesim/internal/trace"
+	"scalesim/internal/units"
 )
 
 // Options controls a simulation run.
@@ -46,7 +47,7 @@ type Options struct {
 	// Warmup instructions per program before statistics are reset.
 	Warmup uint64
 	// EpochCycles is the contention feedback epoch length.
-	EpochCycles float64
+	EpochCycles units.Cycles
 	// CapacityScale divides all cache capacities and workload footprints
 	// (the global miniaturisation documented in DESIGN.md).
 	CapacityScale int
@@ -128,13 +129,13 @@ type CoreResult struct {
 	Benchmark string
 
 	Instructions uint64
-	Cycles       float64
+	Cycles       units.Cycles
 	IPC          float64
 
 	// BWBytesPerCycle is the program's DRAM traffic (reads + writebacks) in
 	// bytes per cycle. BWShare is the same value as a fraction of the
 	// machine's total DRAM bandwidth — the BW feature the ML models use.
-	BWBytesPerCycle float64
+	BWBytesPerCycle units.BytesPerCycle
 	BWShare         float64
 
 	// Miss statistics (per kilo-instruction for MPKI values).
@@ -146,7 +147,7 @@ type CoreResult struct {
 	BranchMispredictRate float64
 
 	// Stall decomposition from the core model.
-	BaseCycles, BranchCycles, MemoryCycles, FrontendCycles float64
+	BaseCycles, BranchCycles, MemoryCycles, FrontendCycles units.Cycles
 }
 
 // Result holds one simulation run's outcome.
@@ -155,7 +156,10 @@ type Result struct {
 	Cores      []CoreResult
 
 	// ElapsedCycles is the measured-phase length in core cycles.
-	ElapsedCycles float64
+	ElapsedCycles units.Cycles
+	// SimulatedPicos is ElapsedCycles converted to simulated time at the
+	// core clock — the denominator of the paper's slowdown metric.
+	SimulatedPicos units.Picoseconds
 	// DRAMUtilization and NoCUtilization are end-of-run smoothed values.
 	DRAMUtilization float64
 	NoCUtilization  float64
@@ -190,7 +194,7 @@ type machine struct {
 	// pf holds per-core L2 stream prefetchers when enabled.
 	pf []*cache.StridePrefetcher
 
-	l1Time, l2Time, llcTime float64
+	l1Time, l2Time, llcTime units.Cycles
 }
 
 // prefetch issues the prefetcher's candidates for a demand L2 miss: each
@@ -208,9 +212,9 @@ func (m *machine) prefetch(core int, addr uint64) {
 		m.mesh.Latency(core, slice, reqBytes)
 		if !hit {
 			m.mesh.Latency(slice, m.mesh.MCTile(m.mem.MCOf(pa), m.mem.Controllers()), reqBytes)
-			m.mem.Access(core, pa, 64, false)
+			m.mem.Access(core, pa, lineBytes, false)
 			if victim, vdirty, evicted := m.llcFill(core, pa, false); evicted && vdirty {
-				m.mem.Access(core, victim, 64, true)
+				m.mem.Access(core, victim, lineBytes, true)
 			}
 		}
 		m.fillL2(core, pa, false)
@@ -218,7 +222,7 @@ func (m *machine) prefetch(core int, addr uint64) {
 }
 
 // endEpoch refreshes the contention estimates unless feedback is ablated.
-func (m *machine) endEpoch(cycles float64) {
+func (m *machine) endEpoch(cycles units.Cycles) {
 	if m.noFeedback {
 		return
 	}
@@ -275,8 +279,12 @@ func (m *machine) llcCoreStats(core int) cache.Stats {
 }
 
 // reqBytes is the NoC cost of a request+response pair for one cache line
-// (8-byte request header + 64-byte data).
-const reqBytes = 72
+// (8-byte request header + 64-byte data); lineBytes is the DRAM transfer
+// size for one line.
+const (
+	reqBytes  = units.Bytes(72)
+	lineBytes = units.Bytes(64)
+)
 
 func newMachine(cfg *config.SystemConfig, wl Workload, opts Options) (*machine, error) {
 	if err := cfg.Validate(); err != nil {
@@ -288,9 +296,9 @@ func newMachine(cfg *config.SystemConfig, wl Workload, opts Options) (*machine, 
 	m := &machine{
 		cfg:        cfg,
 		noFeedback: opts.NoFeedback,
-		l1Time:     float64(cfg.L1D.AccessTime),
-		l2Time:     float64(cfg.L2.AccessTime),
-		llcTime:    float64(cfg.LLC.AccessTime),
+		l1Time:     units.Cycles(cfg.L1D.AccessTime),
+		l2Time:     units.Cycles(cfg.L2.AccessTime),
+		llcTime:    units.Cycles(cfg.LLC.AccessTime),
 	}
 	if opts.EnablePrefetch {
 		for i := 0; i < cfg.Cores; i++ {
@@ -382,12 +390,12 @@ func (m *machine) resolve(core int, addr uint64, dirtyFill bool) cpu.MemResult {
 	mc := m.mem.MCOf(addr)
 	mcTile := m.mesh.MCTile(mc, m.mem.Controllers())
 	lat += m.mesh.Latency(slice, mcTile, reqBytes)
-	lat += m.mem.Access(core, addr, 64, false)
+	lat += m.mem.Access(core, addr, lineBytes, false)
 	// Fill the hierarchy; LLC victims write back to DRAM.
 	if victim, vdirty, evicted := m.llcFill(core, addr, false); evicted && vdirty {
 		vmc := m.mem.MCOf(victim)
 		m.mesh.Latency(m.llcSliceOf(core, victim), m.mesh.MCTile(vmc, m.mem.Controllers()), reqBytes)
-		m.mem.Access(core, victim, 64, true)
+		m.mem.Access(core, victim, lineBytes, true)
 	}
 	m.fillL2(core, addr, false)
 	m.fillL1(core, addr, dirtyFill)
@@ -432,7 +440,7 @@ func (m *machine) writebackToLLC(core int, addr uint64) {
 		return
 	}
 	m.mesh.Latency(slice, m.mesh.MCTile(m.mem.MCOf(addr), m.mem.Controllers()), reqBytes)
-	m.mem.Access(core, addr, 64, true)
+	m.mem.Access(core, addr, lineBytes, true)
 }
 
 // Load implements cpu.MemSystem.
@@ -455,7 +463,7 @@ func (m *machine) Store(core int, addr uint64) cpu.MemResult {
 // next-line prefetcher: they keep the hierarchy state warm and consume
 // bandwidth but never stall. Non-sequential fetches (jump targets) stall
 // the front end for their full latency beyond the pipelined L1-I access.
-func (m *machine) IFetch(core int, addr uint64, jump bool) float64 {
+func (m *machine) IFetch(core int, addr uint64, jump bool) units.Cycles {
 	if m.l1i[core].Access(addr, false) {
 		return 0
 	}
@@ -474,9 +482,9 @@ func (m *machine) IFetch(core int, addr uint64, jump bool) float64 {
 	if !hit {
 		mc := m.mem.MCOf(addr)
 		lat += m.mesh.Latency(slice, m.mesh.MCTile(mc, m.mem.Controllers()), reqBytes)
-		lat += m.mem.Access(core, addr, 64, false)
+		lat += m.mem.Access(core, addr, lineBytes, false)
 		if victim, vdirty, evicted := m.llcFill(core, addr, false); evicted && vdirty {
-			m.mem.Access(core, victim, 64, true)
+			m.mem.Access(core, victim, lineBytes, true)
 		}
 	}
 	m.fillL2(core, addr, false)
@@ -491,7 +499,7 @@ func (m *machine) IFetch(core int, addr uint64, jump bool) float64 {
 type snapshot struct {
 	l1d, l2   cache.Stats
 	llcMisses uint64
-	dramBytes float64
+	dramBytes units.Bytes
 }
 
 // Run simulates workload wl on machine cfg and returns measured per-core
@@ -562,7 +570,7 @@ func RunContext(ctx context.Context, cfg *config.SystemConfig, wl Workload, opts
 	}
 
 	// Phase 2 — measure: epochs until the first program retires its budget.
-	elapsed := 0.0
+	elapsed := units.Cycles(0)
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -584,10 +592,11 @@ func RunContext(ctx context.Context, cfg *config.SystemConfig, wl Workload, opts
 		}
 	}
 
-	totalBWBytesPerCycle := float64(cfg.DRAM.TotalGBps()) / cfg.Core.FrequencyGHz
+	totalBW := units.FromGBps(float64(cfg.DRAM.TotalGBps()), cfg.Core.FrequencyGHz)
 	res := &Result{
 		ConfigName:      cfg.Name,
 		ElapsedCycles:   elapsed,
+		SimulatedPicos:  elapsed.AtGHz(cfg.Core.FrequencyGHz),
 		DRAMUtilization: m.mem.Utilization(),
 		NoCUtilization:  m.mesh.Utilization(),
 	}
@@ -606,8 +615,8 @@ func RunContext(ctx context.Context, cfg *config.SystemConfig, wl Workload, opts
 			Instructions:         st.Instructions,
 			Cycles:               st.Cycles,
 			IPC:                  st.IPC(),
-			BWBytesPerCycle:      bwBytes / cycles,
-			BWShare:              (bwBytes / cycles) / totalBWBytesPerCycle,
+			BWBytesPerCycle:      bwBytes.Per(cycles),
+			BWShare:              float64(bwBytes.Per(cycles)) / float64(totalBW),
 			L1DMPKI:              float64(m.l1d[i].Stats.Misses-snaps[i].l1d.Misses) / ki,
 			L2MPKI:               float64(m.l2[i].Stats.Misses-snaps[i].l2.Misses) / ki,
 			LLCMPKI:              float64(llcMisses) / ki,

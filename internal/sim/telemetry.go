@@ -22,6 +22,7 @@ import (
 	"io"
 
 	"scalesim/internal/cache"
+	"scalesim/internal/units"
 )
 
 // Phase labels for EpochSnapshot.Phase.
@@ -133,10 +134,10 @@ func (s *JSONLSink) Err() error { return s.err }
 // kept by the observer to compute per-epoch deltas.
 type coreCounters struct {
 	instructions                   uint64
-	cycles                         float64
-	base, branch, memory, frontend float64
+	cycles                         units.Cycles
+	base, branch, memory, frontend units.Cycles
 	l1d, l2, llc                   cache.Stats
-	dramBytes                      float64
+	dramBytes                      units.Bytes
 }
 
 // observer computes epoch snapshots for one run. It is only allocated when
@@ -147,9 +148,9 @@ type observer struct {
 	opts *TelemetryOptions
 
 	epoch    int
-	endCycle float64
+	endCycle units.Cycles
 	prev     []coreCounters
-	prevDRAM float64
+	prevDRAM units.Bytes
 
 	trace []EpochSnapshot
 }
@@ -203,20 +204,20 @@ func hitRate(d cache.Stats) float64 {
 // observe snapshots the epoch that just ended and forwards it to the trace
 // and the sink. Must be called after the machine's endEpoch so the
 // shared-resource estimates reflect the epoch's traffic.
-func (o *observer) observe(phase string, epochCycles float64) {
+func (o *observer) observe(phase string, epochCycles units.Cycles) {
 	o.endCycle += epochCycles
 	snap := EpochSnapshot{
 		Epoch:             o.epoch,
 		Phase:             phase,
 		Config:            o.m.cfg.Name,
-		EndCycle:          o.endCycle,
-		EpochCycles:       epochCycles,
+		EndCycle:          float64(o.endCycle),
+		EpochCycles:       float64(epochCycles),
 		NoCUtilization:    o.m.mesh.Utilization(),
-		NoCQueueDelay:     o.m.mesh.QueueDelay(),
+		NoCQueueDelay:     float64(o.m.mesh.QueueDelay()),
 		DRAMUtilization:   o.m.mem.Utilization(),
-		DRAMQueueDelay:    o.m.mem.QueueDelay(),
+		DRAMQueueDelay:    float64(o.m.mem.QueueDelay()),
 		DRAMRowEfficiency: o.m.mem.Efficiency(),
-		DRAMBytesPerCycle: ratio(o.m.mem.TotalBytes-o.prevDRAM, epochCycles),
+		DRAMBytesPerCycle: ratio(float64(o.m.mem.TotalBytes-o.prevDRAM), float64(epochCycles)),
 		Cores:             make([]CoreEpoch, len(o.m.cores)),
 	}
 	for i := range o.m.cores {
@@ -230,17 +231,17 @@ func (o *observer) observe(phase string, epochCycles float64) {
 			Core:         i,
 			Benchmark:    o.wl.Profiles[i].Name,
 			Instructions: instr,
-			Cycles:       cycles,
-			IPC:          ratio(float64(instr), cycles),
-			BaseCPI:      ratio(cur.base-p.base, ki),
-			BranchCPI:    ratio(cur.branch-p.branch, ki),
-			MemoryCPI:    ratio(cur.memory-p.memory, ki),
-			FrontendCPI:  ratio(cur.frontend-p.frontend, ki),
+			Cycles:       float64(cycles),
+			IPC:          ratio(float64(instr), float64(cycles)),
+			BaseCPI:      ratio(float64(cur.base-p.base), ki),
+			BranchCPI:    ratio(float64(cur.branch-p.branch), ki),
+			MemoryCPI:    ratio(float64(cur.memory-p.memory), ki),
+			FrontendCPI:  ratio(float64(cur.frontend-p.frontend), ki),
 			L1DHitRate:   hitRate(cur.l1d.Delta(p.l1d)),
 			L2HitRate:    hitRate(cur.l2.Delta(p.l2)),
 			LLCHitRate:   hitRate(llcDelta),
 			LLCMisses:    llcDelta.Misses,
-			DRAMBytes:    cur.dramBytes - p.dramBytes,
+			DRAMBytes:    float64(cur.dramBytes - p.dramBytes),
 		}
 		o.prev[i] = cur
 	}

@@ -73,7 +73,7 @@ func SimulateParallelContext(ctx context.Context, spec MachineSpec, workload str
 	return &ParallelResult{
 		Machine:        res.ConfigName,
 		Threads:        len(res.Threads),
-		MakespanCycles: res.MakespanCycles,
+		MakespanCycles: float64(res.MakespanCycles),
 		AggregateIPC:   res.AggregateIPC(),
 		Stack: SpeedupStack{
 			Base: res.Stack.Base, Branch: res.Stack.Branch, Memory: res.Stack.Memory,

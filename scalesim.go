@@ -47,6 +47,7 @@ import (
 	"scalesim/internal/sim"
 	"scalesim/internal/store"
 	"scalesim/internal/trace"
+	"scalesim/internal/units"
 )
 
 // Sentinel errors for invalid public-API inputs. They are wrapped with
@@ -119,7 +120,7 @@ func DefaultOptions() SimOptions {
 	return SimOptions{
 		Instructions:  d.Instructions,
 		Warmup:        d.Warmup,
-		EpochCycles:   d.EpochCycles,
+		EpochCycles:   float64(d.EpochCycles),
 		CapacityScale: d.CapacityScale,
 		Seed:          d.Seed,
 	}
@@ -142,7 +143,7 @@ func (o SimOptions) internal() sim.Options {
 	io := sim.Options{
 		Instructions:   o.Instructions,
 		Warmup:         o.Warmup,
-		EpochCycles:    o.EpochCycles,
+		EpochCycles:    units.Cycles(o.EpochCycles),
 		CapacityScale:  o.CapacityScale,
 		Seed:           o.Seed,
 		EnablePrefetch: o.EnablePrefetch,
@@ -421,6 +422,9 @@ type SimResult struct {
 	DRAMUtilization float64
 	NoCUtilization  float64
 	WallClockSec    float64
+	// SimulatedSec is the measured phase's simulated time at the machine's
+	// core clock — the denominator of the paper's slowdown metric.
+	SimulatedSec float64
 	// Trace holds the per-epoch observability record when SimOptions.Trace
 	// was set (nil otherwise). See WriteTraceJSONL and SummarizeTrace.
 	Trace []EpochSnapshot
@@ -495,6 +499,7 @@ func resultFromInternal(res *sim.Result) *SimResult {
 		DRAMUtilization: res.DRAMUtilization,
 		NoCUtilization:  res.NoCUtilization,
 		WallClockSec:    res.WallClock.Seconds(),
+		SimulatedSec:    res.SimulatedPicos.Seconds(),
 		Trace:           res.Trace,
 	}
 	for _, c := range res.Cores {
@@ -503,7 +508,7 @@ func resultFromInternal(res *sim.Result) *SimResult {
 			Benchmark:            c.Benchmark,
 			Instructions:         c.Instructions,
 			IPC:                  c.IPC,
-			BWBytesPerCycle:      c.BWBytesPerCycle,
+			BWBytesPerCycle:      float64(c.BWBytesPerCycle),
 			LLCMPKI:              c.LLCMPKI,
 			BranchMispredictRate: c.BranchMispredictRate,
 		})

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"testing"
+
+	"scalesim/tools/simlint/internal/analysis"
+	"scalesim/tools/simlint/internal/rules"
+)
+
+// TestPublicAPIContextPairing replaces the bespoke parser that used to live
+// in the root package's apipairing_test.go: the apipair analyzer now owns
+// the convention (every exported *Context entry point has a single-statement
+// delegating wrapper, and the root package keeps at least its pinned pair
+// count). This thin test runs just that analyzer over the repository and
+// requires silence.
+func TestPublicAPIContextPairing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	cfg := rules.RepoConfig("../..")
+	findings, _, err := analysis.Run(cfg, rules.Select(cfg, map[string]bool{"apipair": true}))
+	if err != nil {
+		t.Fatalf("analysis.Run: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("public API context pairing violated:\n%s", analysis.Render(findings))
+	}
+}

@@ -1,5 +1,5 @@
-// Module loading for simlint: parse and type-check every package of the
-// module under analysis using only the standard library.
+// Module loading: parse and type-check every package of the module under
+// analysis using only the standard library.
 //
 // The loader walks the module tree, parses each package directory with
 // go/parser (comments retained — suppressions live in them), and
@@ -9,7 +9,7 @@
 // information from $GOROOT/src and therefore works offline. Third-party
 // imports are unsupported by design: the module is dependency-free and the
 // linter enforces its invariants, not the ecosystem's.
-package main
+package analysis
 
 import (
 	"fmt"
@@ -43,6 +43,12 @@ type Module struct {
 	Fset *token.FileSet
 	Pkgs []*Package // sorted by Rel
 
+	// Order lists the packages in type-check completion order, which is a
+	// topological order of the import graph: a package always appears after
+	// everything it imports. Analyzers that export facts from a package and
+	// consume them in its importers must visit packages in this order.
+	Order []*Package
+
 	byRel map[string]*Package
 }
 
@@ -60,9 +66,9 @@ func (m *Module) RelFile(filename string) string {
 
 var moduleLineRE = regexp.MustCompile(`(?m)^module\s+(\S+)\s*$`)
 
-// loadModule parses and type-checks every package under root. It fails on
+// LoadModule parses and type-checks every package under root. It fails on
 // the first parse or type error: the linter only runs on trees that build.
-func loadModule(root string) (*Module, error) {
+func LoadModule(root string) (*Module, error) {
 	abs, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -121,6 +127,7 @@ func loadModule(root string) (*Module, error) {
 			return nil, err
 		}
 	}
+	mod.Order = append([]*Package(nil), mod.Pkgs...)
 	sort.Slice(mod.Pkgs, func(i, j int) bool { return mod.Pkgs[i].Rel < mod.Pkgs[j].Rel })
 	return mod, nil
 }
@@ -159,7 +166,8 @@ func (l *loader) Import(path string) (*types.Package, error) {
 }
 
 // load parses and type-checks the package in the module-relative directory
-// rel, memoized on the Module.
+// rel, memoized on the Module. A package is appended to Module.Pkgs only
+// after its imports finished loading, so the append order is topological.
 func (l *loader) load(rel string) (*Package, error) {
 	if p, ok := l.mod.byRel[rel]; ok {
 		return p, nil

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func finding(file string, line int, rule, msg string) Finding {
+	return Finding{Pos: token.Position{Filename: file, Line: line}, Rule: rule, Msg: msg}
+}
+
+// TestBaselineSplit pins the matching semantics: (file, rule, msg) exact,
+// line numbers ignored so baselined findings survive unrelated edits.
+func TestBaselineSplit(t *testing.T) {
+	b := &Baseline{Schema: BaselineSchema, Findings: []ReportFinding{
+		{File: "a.go", Rule: "units", Msg: "known"},
+	}}
+	fs := []Finding{
+		finding("a.go", 99, "units", "known"), // line differs: still baselined
+		finding("a.go", 10, "units", "new message"),
+		finding("b.go", 10, "units", "known"), // file differs: not baselined
+	}
+	newF, based := b.Split(fs)
+	if len(based) != 1 || based[0].Pos.Line != 99 {
+		t.Fatalf("baselined = %+v, want the a.go:99 finding", based)
+	}
+	if len(newF) != 2 {
+		t.Fatalf("new = %+v, want 2 findings", newF)
+	}
+}
+
+// TestBaselineRoundTrip writes findings as a baseline, reloads it, and
+// checks every written finding now splits as baselined. A missing file must
+// read back as an empty baseline.
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+
+	empty, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline(missing): %v", err)
+	}
+	if len(empty.Findings) != 0 {
+		t.Fatalf("missing baseline not empty: %+v", empty.Findings)
+	}
+
+	fs := []Finding{
+		finding("x.go", 3, "errwrap", "msg one"),
+		finding("y.go", 7, "goroleak", "msg two"),
+	}
+	if err := WriteBaseline(path, fs); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	newF, based := b.Split(fs)
+	if len(newF) != 0 || len(based) != 2 {
+		t.Fatalf("round trip: new=%d baselined=%d, want 0/2", len(newF), len(based))
+	}
+}
+
+// TestBaselineSchemaRejected pins the schema check.
+func TestBaselineSchemaRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	if err := writeJSON(path, Baseline{Schema: "bogus/v0"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Fatal("LoadBaseline accepted a wrong schema")
+	}
+}

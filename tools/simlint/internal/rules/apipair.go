@@ -1,0 +1,163 @@
+package rules
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"scalesim/tools/simlint/internal/analysis"
+)
+
+// apipair enforces the public API's context convention, generalizing the
+// parser harness that used to live in apipairing_test.go: every exported
+// top-level function XContext whose first parameter is a context.Context
+// must have an exported context-free wrapper X, and X's body must be exactly
+//
+//	return XContext(context.Background(), <parameters forwarded in order>)
+//
+// A context-free entry point with its own body next to an XContext twin is
+// drift waiting to happen: the two paths diverge the first time one is
+// edited. The per-package minimum pair count pins the rule against
+// refactors that would hide the entry points from the analyzer entirely.
+type apipair struct {
+	min map[string]int // module-relative package dir -> minimum pair count
+}
+
+func (apipair) Name() string { return "apipair" }
+func (apipair) Doc() string {
+	return "every *Context entry point has a single-statement delegating wrapper"
+}
+
+func (a apipair) Run(pass *analysis.Pass) []analysis.Finding {
+	p := pass.Pkg
+	funcs := map[string]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if ok && fd.Recv == nil && fd.Name.IsExported() {
+				funcs[fd.Name.Name] = fd
+			}
+		}
+	}
+	names := make([]string, 0, len(funcs))
+	for n := range funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var out []analysis.Finding
+	report := func(fd *ast.FuncDecl, format string, args ...any) {
+		out = append(out, analysis.Finding{
+			Pos:  pass.Module.Fset.Position(fd.Pos()),
+			Rule: a.Name(),
+			Msg:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	pairs := 0
+	for _, name := range names {
+		fd := funcs[name]
+		base, isCtx := strings.CutSuffix(name, "Context")
+		if !isCtx || base == "" || !firstParamIsContext(p.Info, fd) {
+			continue
+		}
+		pairs++
+		wrapper, ok := funcs[base]
+		if !ok {
+			report(fd, "%s has no exported context-free wrapper %s; add `func %s(...) { return %s(context.Background(), ...) }`", name, base, base, name)
+			continue
+		}
+		if err := checkDelegation(wrapper, name); err != nil {
+			report(wrapper, "%s must be a single-statement delegation to %s: %s", base, name, err)
+		}
+	}
+	if mn := a.min[p.Rel]; pairs < mn {
+		out = append(out, analysis.Finding{
+			Pos:  pass.Module.Fset.Position(p.Files[0].Package),
+			Rule: a.Name(),
+			Msg:  fmt.Sprintf("package %s has %d Context pair(s), pinned minimum is %d; a refactor has hidden entry points from the apipair analyzer", p.Pkg.Name(), pairs, mn),
+		})
+	}
+	return out
+}
+
+// firstParamIsContext reports whether fd's first parameter is a
+// context.Context, resolved through the type checker (a local type named
+// context.Context cannot fake it).
+func firstParamIsContext(info *types.Info, fd *ast.FuncDecl) bool {
+	def := info.Defs[fd.Name]
+	if def == nil {
+		return false
+	}
+	sig, ok := def.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return types.TypeString(sig.Params().At(0).Type(), nil) == "context.Context"
+}
+
+// checkDelegation verifies that wrapper's body is a single return statement
+// calling target with context.Background() first and the wrapper's own
+// parameters forwarded in declaration order. It returns a description of the
+// first deviation, or nil.
+func checkDelegation(wrapper *ast.FuncDecl, target string) error {
+	if wrapper.Body == nil || len(wrapper.Body.List) != 1 {
+		return fmt.Errorf("body is not a single statement")
+	}
+	ret, ok := wrapper.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return fmt.Errorf("body is not a single return")
+	}
+	call, ok := ret.Results[0].(*ast.CallExpr)
+	if !ok {
+		return fmt.Errorf("return value is not a call")
+	}
+	callee, ok := call.Fun.(*ast.Ident)
+	if !ok || callee.Name != target {
+		return fmt.Errorf("calls %s, not %s", exprString(call.Fun), target)
+	}
+	if len(call.Args) == 0 {
+		return fmt.Errorf("call has no arguments")
+	}
+	bg, ok := call.Args[0].(*ast.CallExpr)
+	if !ok || exprString(bg.Fun) != "context.Background" {
+		return fmt.Errorf("first argument is not context.Background()")
+	}
+
+	// Collect the wrapper's parameter names in declaration order.
+	var params []string
+	for _, field := range wrapper.Type.Params.List {
+		for _, n := range field.Names {
+			params = append(params, n.Name)
+		}
+	}
+	rest := call.Args[1:]
+	if len(rest) != len(params) {
+		return fmt.Errorf("forwards %d arguments for %d parameters", len(rest), len(params))
+	}
+	for i, arg := range rest {
+		name := ""
+		// A variadic forward parses as the parameter identifier with the
+		// call's Ellipsis position set; the identifier is what matters.
+		if id, ok := arg.(*ast.Ident); ok {
+			name = id.Name
+		}
+		if name != params[i] {
+			return fmt.Errorf("argument %d is %s, want parameter %s", i, exprString(arg), params[i])
+		}
+	}
+	return nil
+}
+
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	default:
+		return "?"
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package rules
 
 import (
 	"fmt"
@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"scalesim/tools/simlint/internal/analysis"
 )
 
 // keydrift cross-checks struct field sets against the canonical cache-key
@@ -20,14 +22,21 @@ import (
 // this module), every field must be read somewhere in the key file.
 // Deliberately non-semantic fields are suppressed at their declaration with
 // //simlint:ignore keydrift <why the field is not part of the key>.
+//
+// keydrift is a ModuleAnalyzer: it cross-checks one file against type
+// declarations spread across the whole module, so a per-package pass has no
+// natural unit of work.
 type keydrift struct {
 	keyFile string   // module-relative path of the encoder file
 	roots   []string // "<module-relative pkg dir>.<TypeName>"
 }
 
 func (keydrift) Name() string { return "keydrift" }
+func (keydrift) Doc() string {
+	return "every semantic design-point field must be encoded by the key file"
+}
 
-func (a keydrift) Run(m *Module) []Finding {
+func (a keydrift) RunModule(m *analysis.Module) []analysis.Finding {
 	if a.keyFile == "" || len(a.roots) == 0 {
 		return nil
 	}
@@ -35,25 +44,25 @@ func (a keydrift) Run(m *Module) []Finding {
 
 	watched := map[*types.Named]bool{}
 	var queue []*types.Named
-	var out []Finding
+	var out []analysis.Finding
 	for _, root := range a.roots {
 		dot := strings.LastIndex(root, ".")
 		if dot < 0 {
-			out = append(out, Finding{Rule: a.Name(),
+			out = append(out, analysis.Finding{Rule: a.Name(),
 				Msg: fmt.Sprintf("bad key root %q: want <package dir>.<TypeName>", root)})
 			continue
 		}
 		rel, name := root[:dot], root[dot+1:]
 		pkg := m.ByRel(rel)
 		if pkg == nil {
-			out = append(out, Finding{Rule: a.Name(),
+			out = append(out, analysis.Finding{Rule: a.Name(),
 				Msg: fmt.Sprintf("key root %q: package directory %q not found in module", root, rel)})
 			continue
 		}
 		obj := pkg.Pkg.Scope().Lookup(name)
 		tn, ok := obj.(*types.TypeName)
 		if !ok {
-			out = append(out, Finding{Rule: a.Name(),
+			out = append(out, analysis.Finding{Rule: a.Name(),
 				Msg: fmt.Sprintf("key root %q: no type %s in package %s", root, name, pkg.Path)})
 			continue
 		}
@@ -120,7 +129,7 @@ func (a keydrift) Run(m *Module) []Finding {
 		}
 	}
 	if !sawKeyFile {
-		out = append(out, Finding{Rule: a.Name(),
+		out = append(out, analysis.Finding{Rule: a.Name(),
 			Msg: fmt.Sprintf("key file %s not found in module; keydrift cannot verify the encoder", a.keyFile)})
 		return out
 	}
@@ -141,7 +150,7 @@ func (a keydrift) Run(m *Module) []Finding {
 			if reads[named][field.Name()] {
 				continue
 			}
-			out = append(out, Finding{
+			out = append(out, analysis.Finding{
 				Pos:  m.Fset.Position(field.Pos()),
 				Rule: a.Name(),
 				Msg: fmt.Sprintf("field %s.%s is never read by the canonical key encoder (%s): encode it (and update the pinned key fixture) or suppress with why it is not semantic",

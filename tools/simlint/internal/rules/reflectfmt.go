@@ -1,0 +1,149 @@
+package rules
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strconv"
+
+	"scalesim/tools/simlint/internal/analysis"
+)
+
+// reflectfmt flags `%v` / `%+v` / `%#v` formatting of values that contain
+// pointers (or maps, funcs, channels, interfaces) when the formatted text
+// feeds a hash, key, or fingerprint. Go's reflected rendering prints such
+// fields as addresses — or in nondeterministic map order — so the "key"
+// differs between processes that describe the identical value. This is
+// exactly the PR-2 cache-key bug (runner.Job.Key once hashed a "%+v" of a
+// struct carrying a telemetry-sink pointer); the fix is always the same:
+// encode semantic fields explicitly, one by one, in a fixed order.
+//
+// A call site is considered a hash/key context when either
+//   - the enclosing function's name matches key|hash|fingerprint|digest|
+//     canonical (case-insensitive), or
+//   - it is fmt.Fprintf and the writer argument's type carries the
+//     hash.Hash method set (Sum and BlockSize).
+//
+// The analyzer runs on every package: key construction is not confined to
+// the deterministic core.
+type reflectfmt struct{}
+
+func (reflectfmt) Name() string { return "reflectfmt" }
+func (reflectfmt) Doc() string {
+	return "no %v of pointer-carrying values feeding a hash or key"
+}
+
+var keyContextRE = regexp.MustCompile(`(?i)key|hash|fingerprint|digest|canonical`)
+
+// formatArgIndex maps the fmt verbs-interpreting functions to the position
+// of their format-string argument.
+var formatArgIndex = map[string]int{
+	"Sprintf": 0, "Printf": 0, "Errorf": 0,
+	"Fprintf": 1, "Appendf": 1,
+}
+
+func (a reflectfmt) Run(pass *analysis.Pass) []analysis.Finding {
+	p := pass.Pkg
+	var out []analysis.Finding
+	for _, f := range p.Files {
+		analysis.EnclosingFuncs(f, func(fd *ast.FuncDecl) {
+			inKeyFunc := keyContextRE.MatchString(fd.Name.Name)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := p.Info.Uses[sel.Sel]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+					return true
+				}
+				fmtIdx, ok := formatArgIndex[obj.Name()]
+				if !ok || len(call.Args) <= fmtIdx {
+					return true
+				}
+				hashCtx := inKeyFunc
+				if !hashCtx && obj.Name() == "Fprintf" && isHashWriter(p.Info.TypeOf(call.Args[0])) {
+					hashCtx = true
+				}
+				if !hashCtx {
+					return true
+				}
+				tv, ok := p.Info.Types[call.Args[fmtIdx]]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					return true
+				}
+				for _, ref := range verbRefs(constant.StringVal(tv.Value)) {
+					if ref.verb != 'v' {
+						continue
+					}
+					argi := fmtIdx + 1 + ref.arg
+					if argi >= len(call.Args) {
+						continue
+					}
+					at := p.Info.TypeOf(call.Args[argi])
+					if at == nil || !containsPointer(at, map[types.Type]bool{}) {
+						continue
+					}
+					out = append(out, analysis.Finding{
+						Pos:  pass.Module.Fset.Position(call.Args[argi].Pos()),
+						Rule: a.Name(),
+						Msg: fmt.Sprintf("%s of %s feeds a hash/key context: reflected formatting renders pointers as addresses and maps in random order (the PR-2 cache-key bug); encode fields explicitly",
+							strconv.Quote("%"+ref.flags+"v"),
+							types.TypeString(at, types.RelativeTo(p.Pkg))),
+					})
+				}
+				return true
+			})
+		})
+	}
+	return out
+}
+
+// isHashWriter reports whether t carries the hash.Hash method set
+// (identified by Sum and BlockSize, which io.Writer lacks).
+func isHashWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	for _, name := range []string{"Sum", "BlockSize"} {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+		if _, ok := obj.(*types.Func); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// containsPointer reports whether formatting a value of type t with %v can
+// expose a pointer address, map order, or other process-dependent identity.
+// Pointers, maps, channels, funcs and interfaces qualify directly; slices,
+// arrays and structs are searched recursively.
+func containsPointer(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Slice:
+		return containsPointer(u.Elem(), seen)
+	case *types.Array:
+		return containsPointer(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsPointer(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,84 @@
+// Package rules holds simlint's analyzers. Each rule is a small
+// analysis.PackageAnalyzer or analysis.ModuleAnalyzer; the registry in All
+// wires them to a Config and is the single source of truth for known rule
+// names (which also validates //simlint:ignore comments).
+package rules
+
+import "scalesim/tools/simlint/internal/analysis"
+
+// RepoConfig is this repository's lint policy. The deterministic set is
+// every package whose code executes between "design point in" and "Result
+// out": the simulator core and its models, the synthetic trace generators,
+// the scale-model protocols, and the campaign engine (whose cache keys and
+// reports must themselves be reproducible). It lives here, next to the
+// rules, so the driver and the repo-clean test share one definition.
+func RepoConfig(root string) analysis.Config {
+	cfg := analysis.Config{
+		Root: root,
+		Deterministic: []string{
+			"internal/sim",
+			"internal/trace",
+			"internal/cache",
+			"internal/noc",
+			"internal/dram",
+			"internal/scalemodel",
+			"internal/runner",
+			"internal/store",
+		},
+		KeyFile:    "internal/runner/key.go",
+		KeyRoots:   []string{"internal/runner.Job"},
+		UnitsDir:   "internal/units",
+		Goroutines: []string{"internal/runner", "internal/store"},
+		// The root package must keep at least Simulate/SimulateParallel/
+		// RunCampaign as Context pairs; a refactor that hides them from the
+		// analyzer would otherwise silently void the rule.
+		APIPairMin: map[string]int{"": 3},
+	}
+	// Suppressions always validate against the full registry, even when the
+	// driver runs a rule subset.
+	cfg.KnownRules = Names(cfg)
+	return cfg
+}
+
+// All returns every analyzer, configured from cfg, in a fixed order.
+func All(cfg analysis.Config) []analysis.Analyzer {
+	det := map[string]bool{}
+	for _, d := range cfg.Deterministic {
+		det[d] = true
+	}
+	goro := map[string]bool{}
+	for _, d := range cfg.Goroutines {
+		goro[d] = true
+	}
+	return []analysis.Analyzer{
+		maporder{det: det},
+		wallclock{det: det},
+		reflectfmt{},
+		keydrift{keyFile: cfg.KeyFile, roots: cfg.KeyRoots},
+		unitsRule{dir: cfg.UnitsDir},
+		errwrap{},
+		apipair{min: cfg.APIPairMin},
+		goroleak{pkgs: goro},
+	}
+}
+
+// Select returns the subset of All(cfg) whose names appear in names, in
+// registry order. Unknown names are reported by the caller via Names.
+func Select(cfg analysis.Config, names map[string]bool) []analysis.Analyzer {
+	var out []analysis.Analyzer
+	for _, a := range All(cfg) {
+		if names[a.Name()] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Names lists every registered rule name in registry order.
+func Names(cfg analysis.Config) []string {
+	var out []string
+	for _, a := range All(cfg) {
+		out = append(out, a.Name())
+	}
+	return out
+}

@@ -1,45 +1,55 @@
-package main
+package rules
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
+
+	"scalesim/tools/simlint/internal/analysis"
 )
 
+var update = flag.Bool("update", false, "rewrite testdata/fixture.golden from the current output")
+
 // fixtureConfig lints the self-contained module under testdata/fixture,
-// with its own deterministic set and key encoder.
-func fixtureConfig() Config {
-	return Config{
+// with its own deterministic set, key encoder, units package, goroutine
+// policy, and pair pin.
+func fixtureConfig() analysis.Config {
+	return analysis.Config{
 		Root:          filepath.Join("testdata", "fixture"),
 		Deterministic: []string{"det"},
 		KeyFile:       "enc/key.go",
 		KeyRoots:      []string{"keys.Options"},
+		UnitsDir:      "uu",
+		Goroutines:    []string{"leak"},
+		APIPairMin:    map[string]int{"pair": 4},
 	}
 }
 
 var (
 	fixtureOnce     sync.Once
-	fixtureFindings []Finding
+	fixtureFindings []analysis.Finding
 	fixtureErr      error
 )
 
-func fixtureLint(t *testing.T) []Finding {
+func fixtureLint(t *testing.T) []analysis.Finding {
 	t.Helper()
 	fixtureOnce.Do(func() {
-		fixtureFindings, fixtureErr = runLint(fixtureConfig())
+		cfg := fixtureConfig()
+		fixtureFindings, _, fixtureErr = analysis.Run(cfg, All(cfg))
 	})
 	if fixtureErr != nil {
-		t.Fatalf("runLint: %v", fixtureErr)
+		t.Fatalf("analysis.Run: %v", fixtureErr)
 	}
 	return fixtureFindings
 }
 
 // TestAnalyzerFindings pins, per rule, exactly which fixture sites are
-// flagged — and, by omission, that the justified suppressions and the
-// non-deterministic package stay silent.
+// flagged — and, by omission, that the justified suppressions, the
+// non-deterministic package, and the sanctioned spellings stay silent.
 func TestAnalyzerFindings(t *testing.T) {
 	findings := fixtureLint(t)
 	got := map[string][]string{}
@@ -50,6 +60,7 @@ func TestAnalyzerFindings(t *testing.T) {
 		"maporder": {
 			"det/det.go:13", // Sum: unsuppressed range over map
 			"det/det.go:34", // SumBadSuppress: justification-less suppression does not suppress
+			"det/det.go:67", // SumUnknownSuppress: unknown rule name does not suppress
 		},
 		"wallclock": {
 			"det/det.go:42", // Stamp: time.Now
@@ -66,6 +77,31 @@ func TestAnalyzerFindings(t *testing.T) {
 		},
 		"ignore": {
 			"det/det.go:33", // suppression without a justification
+			"det/det.go:66", // suppression naming an unknown rule
+		},
+		"units": {
+			"mix/mix.go:10", // Mixed: float64(Cycles) + float64(Bytes)
+			"mix/mix.go:15", // Compared: float64(Cycles) > float64(Bytes)
+			"mix/mix.go:20", // Reinterpret: Cycles(Bytes)
+			"mix/mix.go:28", // Literal: bare 250 at a Cycles parameter
+		},
+		"errwrap": {
+			"ew/ew.go:14",  // Compared: == sentinel
+			"ew/ew.go:17",  // Wrapped: sentinel under %v
+			"ew/ew.go:20",  // TextMatched: Error() == "boom"
+			"ew/ew.go:23",  // ContainsMatched: strings.Contains(Error(), ...)
+			"ew2/ew2.go:8", // CrossCompared: != imported sentinel
+		},
+		"apipair": {
+			"pair/pair.go:3",  // pinned minimum pair count missed
+			"pair/pair.go:14", // OrphanContext without a wrapper
+			"pair/pair.go:20", // Drift wrapper that re-implements
+		},
+		"goroleak": {
+			"leak/leak.go:11", // Fire: no context parameter
+			"leak/leak.go:11", // Fire: not WaitGroup-joined
+			"leak/leak.go:16", // Unjoined: not WaitGroup-joined
+			"leak/leak.go:38", // Opaque: unresolvable goroutine body
 		},
 	}
 	for rule, sites := range want {
@@ -82,14 +118,20 @@ func TestAnalyzerFindings(t *testing.T) {
 
 // TestGoldenOutput pins the full rendered report. This is simlint's own
 // determinism regression test: the golden can only stay stable if findings
-// are emitted in sorted (file, line, rule, message) order.
+// are emitted in sorted (file, line, column, rule, message) order. Run with
+// -update to regenerate after deliberate fixture or message changes.
 func TestGoldenOutput(t *testing.T) {
 	goldenPath := filepath.Join("testdata", "fixture.golden")
+	got := analysis.Render(fixtureLint(t))
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
 	want, err := os.ReadFile(goldenPath)
 	if err != nil {
 		t.Fatalf("read golden: %v", err)
 	}
-	got := render(fixtureLint(t))
 	if got != string(want) {
 		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
 	}
@@ -101,27 +143,30 @@ func TestOutputDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("second full load is slow")
 	}
-	again, err := runLint(fixtureConfig())
+	cfg := fixtureConfig()
+	again, _, err := analysis.Run(cfg, All(cfg))
 	if err != nil {
-		t.Fatalf("runLint: %v", err)
+		t.Fatalf("analysis.Run: %v", err)
 	}
-	if a, b := render(fixtureLint(t)), render(again); a != b {
+	if a, b := analysis.Render(fixtureLint(t)), analysis.Render(again); a != b {
 		t.Errorf("two runs rendered differently:\n--- first ---\n%s--- second ---\n%s", a, b)
 	}
 }
 
-// TestRepoClean lints the repository itself: HEAD must report zero
-// unsuppressed findings, which is what wires the rule set into make check.
+// TestRepoClean lints the repository itself with all eight analyzers: HEAD
+// must report zero unsuppressed findings, which is what wires the rule set
+// into make check.
 func TestRepoClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads the whole module")
 	}
-	findings, err := runLint(defaultConfig(filepath.Join("..", "..")))
+	cfg := RepoConfig(filepath.Join("..", "..", "..", ".."))
+	findings, _, err := analysis.Run(cfg, All(cfg))
 	if err != nil {
-		t.Fatalf("runLint: %v", err)
+		t.Fatalf("analysis.Run: %v", err)
 	}
 	if len(findings) != 0 {
-		t.Errorf("repository is not lint-clean:\n%s", render(findings))
+		t.Errorf("repository is not lint-clean:\n%s", analysis.Render(findings))
 	}
 }
 

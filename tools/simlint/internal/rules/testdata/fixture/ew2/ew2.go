@@ -1,0 +1,8 @@
+// Package ew2 compares against an imported sentinel, exercising the errwrap
+// fact flow between packages.
+package ew2
+
+import "fixture/ew"
+
+// CrossCompared tests an imported sentinel with !=: flagged.
+func CrossCompared(err error) bool { return err != ew.ErrBoom }

@@ -1,0 +1,39 @@
+// Package leak exercises the goroleak rule.
+package leak
+
+import (
+	"context"
+	"sync"
+)
+
+// Fire spawns without a context parameter and without a join: two findings.
+func Fire() {
+	go func() {}()
+}
+
+// Unjoined has a context but no WaitGroup join: flagged.
+func Unjoined(ctx context.Context) {
+	go func() {}()
+}
+
+// Joined is the sanctioned shape: clean.
+func Joined(ctx context.Context) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+
+// Named spawns a local variable bound to a func literal: clean.
+func Named(ctx context.Context) {
+	var wg sync.WaitGroup
+	worker := func() { defer wg.Done() }
+	wg.Add(1)
+	go worker()
+	wg.Wait()
+}
+
+// Opaque spawns a function value the rule cannot see into: flagged.
+func Opaque(ctx context.Context, f func()) {
+	go f()
+}

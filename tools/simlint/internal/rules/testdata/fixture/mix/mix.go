@@ -1,0 +1,58 @@
+// Package mix exercises the units rule: type-erased mixing, reinterpreting
+// conversions, and bare literals at unit boundaries — plus the sanctioned
+// spellings that must stay clean.
+package mix
+
+import "fixture/uu"
+
+// Mixed adds cycles to bytes through the float64 escape hatch: flagged.
+func Mixed(c uu.Cycles, b uu.Bytes) float64 {
+	return float64(c) + float64(b)
+}
+
+// Compared orders cycles against bytes: flagged.
+func Compared(c uu.Cycles, b uu.Bytes) bool {
+	return float64(c) > float64(b)
+}
+
+// Reinterpret converts bytes directly to cycles: flagged.
+func Reinterpret(b uu.Bytes) uu.Cycles {
+	return uu.Cycles(b)
+}
+
+// Wait gives the fixture a unit-typed parameter.
+func Wait(c uu.Cycles) uu.Cycles { return c }
+
+// Literal passes a bare literal across the unit boundary: flagged.
+func Literal() uu.Cycles {
+	return Wait(250)
+}
+
+// Ratio divides bytes by cycles: division changes dimension, never flagged.
+func Ratio(b uu.Bytes, c uu.Cycles) uu.BytesPerCycle {
+	return uu.BytesPerCycle(float64(b) / float64(c))
+}
+
+// Explicit reinterprets through a dimensionless float64: the sanctioned
+// spelling, clean.
+func Explicit(b uu.Bytes) uu.Cycles {
+	return uu.Cycles(float64(b))
+}
+
+// step is a typed constant; passing it is clean.
+const step = uu.Cycles(8)
+
+// Named passes a typed constant across the boundary: clean.
+func Named() uu.Cycles { return Wait(step) }
+
+// SameUnit adds cycles to cycles and compares against an untyped zero:
+// clean.
+func SameUnit(a, b uu.Cycles) bool {
+	return a+b > 0
+}
+
+// MixedSuppressed carries a justified suppression: no finding.
+func MixedSuppressed(c uu.Cycles, b uu.Bytes) float64 {
+	//simlint:ignore units fixture demonstrates a justified suppression
+	return float64(c) + float64(b)
+}

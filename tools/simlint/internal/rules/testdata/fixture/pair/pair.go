@@ -1,0 +1,25 @@
+// Package pair exercises the apipair rule: a correct pair, an orphan, a
+// drifting wrapper, and a pinned minimum pair count the package misses.
+package pair
+
+import "context"
+
+// GoodContext and Good form a correct pair.
+func GoodContext(ctx context.Context, n int) int { return n }
+
+// Good delegates in a single statement: clean.
+func Good(n int) int { return GoodContext(context.Background(), n) }
+
+// OrphanContext has no context-free wrapper: flagged.
+func OrphanContext(ctx context.Context) error { return ctx.Err() }
+
+// DriftContext has a wrapper that does not delegate.
+func DriftContext(ctx context.Context, n int) int { return n }
+
+// Drift re-implements instead of delegating: flagged.
+func Drift(n int) int {
+	if n > 0 {
+		return DriftContext(context.Background(), n)
+	}
+	return 0
+}

@@ -1,0 +1,15 @@
+// Package uu declares fixture quantity types for the units rule. Every
+// package-level named type with a numeric underlying type is a unit type.
+package uu
+
+// Cycles is a fixture duration unit.
+type Cycles float64
+
+// Bytes is a fixture volume unit.
+type Bytes float64
+
+// BytesPerCycle is a fixture bandwidth unit.
+type BytesPerCycle float64
+
+// Label is not numeric and must not be treated as a unit type.
+type Label string

@@ -1,10 +1,12 @@
-// Command simlint is the repository's determinism-and-drift linter.
+// Command simlint is the repository's static-analysis gate: determinism,
+// key-drift, unit, error-wrapping and concurrency invariants, enforced over
+// every package of the module with go/parser + go/types (standard library
+// only, offline).
 //
-// The simulator's value rests on bit-identical, seed-stable runs: the
-// scale-model extrapolation (and anything trained on campaign outputs) is
-// meaningless if two runs of the same design point diverge. simlint loads
-// every package in the module with go/parser + go/types (standard library
-// only, offline) and enforces the invariants that keep runs reproducible:
+// The simulator's value rests on bit-identical, seed-stable, dimensionally
+// sane runs: the scale-model extrapolation (and anything trained on campaign
+// outputs) is meaningless if two runs of the same design point diverge, or
+// if a cycles-vs-bytes mixup skews a model input. The rules:
 //
 //	maporder    no `range` over maps in deterministic packages
 //	wallclock   no time.Now/time.Since or math/rand in deterministic
@@ -12,14 +14,26 @@
 //	reflectfmt  no %v/%+v of pointer-carrying values feeding a hash or key
 //	keydrift    every semantic field of the design-point structs must be
 //	            encoded by internal/runner/key.go
+//	units       no arithmetic mixing distinct internal/units quantity
+//	            types, no bare literals across unit boundaries
+//	errwrap     sentinel errors are wrapped with %w and matched with
+//	            errors.Is, never == or string matching
+//	apipair     every exported *Context entry point has a single-statement
+//	            delegating context-free wrapper
+//	goroleak    every go statement in internal/runner and internal/store
+//	            is WaitGroup-joined and spawned from a context-aware
+//	            function
 //
 // Findings print as "file:line: [rule] message", sorted, and exit status 1.
 // A finding is suppressed by a trailing or preceding comment
 //
 //	//simlint:ignore <rule> <justification>
 //
-// where the justification is mandatory. See DESIGN.md, "Determinism
-// invariants".
+// where the rule name must be registered and the justification is
+// mandatory. Findings listed in the committed baseline file
+// (tools/simlint/baseline.json) are reported in the JSON report but do not
+// fail the run; `make lint-baseline` regenerates the baseline. See
+// DESIGN.md, "Static analysis invariants".
 //
 // Usage:
 //
@@ -30,43 +44,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
-)
 
-// defaultConfig is this repository's lint policy. The deterministic set is
-// every package whose code executes between "design point in" and "Result
-// out": the simulator core and its models, the synthetic trace generators,
-// the scale-model protocols, and the campaign engine (whose cache keys and
-// reports must themselves be reproducible).
-func defaultConfig(root string) Config {
-	return Config{
-		Root: root,
-		Deterministic: []string{
-			"internal/sim",
-			"internal/trace",
-			"internal/cache",
-			"internal/noc",
-			"internal/dram",
-			"internal/scalemodel",
-			"internal/runner",
-			"internal/store",
-		},
-		KeyFile:  "internal/runner/key.go",
-		KeyRoots: []string{"internal/runner.Job"},
-	}
-}
+	"scalesim/tools/simlint/internal/analysis"
+	"scalesim/tools/simlint/internal/rules"
+)
 
 func main() {
 	det := flag.String("det", "", "comma-separated module-relative deterministic package dirs (default: the repo policy)")
 	keyFile := flag.String("keyfile", "", "module-relative path of the canonical key encoder (default: internal/runner/key.go)")
 	keyRoots := flag.String("keyroots", "", "comma-separated key root types as <pkg dir>.<TypeName> (default: internal/runner.Job)")
+	unitsDir := flag.String("units", "", "module-relative dir of the quantity-type package (default: internal/units)")
+	goroutines := flag.String("goroutines", "", "comma-separated module-relative dirs where go statements must be joined (default: internal/runner,internal/store)")
+	ruleList := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	reportPath := flag.String("report", "", "write a JSON report (scalesim/simlint-report/v1) to this path")
+	baselinePath := flag.String("baseline", "", "baseline file of accepted findings (default: <root>/tools/simlint/baseline.json; missing file = empty baseline)")
+	writeBaseline := flag.Bool("write-baseline", false, "accept every current finding: rewrite the baseline file and exit 0")
 	flag.Parse()
 
 	root := "."
 	if args := flag.Args(); len(args) > 0 && args[0] != "./..." {
 		root = args[0]
 	}
-	cfg := defaultConfig(root)
+	cfg := rules.RepoConfig(root)
 	if *det != "" {
 		cfg.Deterministic = strings.Split(*det, ",")
 	}
@@ -76,15 +77,90 @@ func main() {
 	if *keyRoots != "" {
 		cfg.KeyRoots = strings.Split(*keyRoots, ",")
 	}
-
-	findings, err := runLint(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	if *unitsDir != "" {
+		cfg.UnitsDir = *unitsDir
 	}
-	if len(findings) > 0 {
-		fmt.Print(render(findings))
-		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
+	if *goroutines != "" {
+		cfg.Goroutines = strings.Split(*goroutines, ",")
+	}
+
+	active := rules.All(cfg)
+	if *ruleList != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*ruleList, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		for _, known := range rules.Names(cfg) {
+			delete(want, known)
+		}
+		if len(want) > 0 {
+			fatal(fmt.Errorf("simlint: unknown rule(s) in -rules: %s (known: %s)",
+				strings.Join(sortedKeys(want), ", "), strings.Join(rules.Names(cfg), ", ")))
+		}
+		selected := map[string]bool{}
+		for _, name := range strings.Split(*ruleList, ",") {
+			selected[strings.TrimSpace(name)] = true
+		}
+		active = rules.Select(cfg, selected)
+	}
+
+	findings, mod, err := analysis.Run(cfg, active)
+	if err != nil {
+		fatal(err)
+	}
+
+	blPath := *baselinePath
+	if blPath == "" {
+		blPath = filepath.Join(root, "tools", "simlint", "baseline.json")
+	}
+	if *writeBaseline {
+		if err := analysis.WriteBaseline(blPath, findings); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "simlint: baseline %s rewritten with %d finding(s)\n", blPath, len(findings))
+	}
+	baseline, err := analysis.LoadBaseline(blPath)
+	if err != nil {
+		fatal(err)
+	}
+	newFindings, baselined := baseline.Split(findings)
+
+	if *reportPath != "" {
+		var names []string
+		for _, a := range active {
+			names = append(names, a.Name())
+		}
+		report := analysis.BuildReport(mod.Path, names, newFindings, baselined)
+		if err := analysis.WriteReport(*reportPath, report); err != nil {
+			fatal(err)
+		}
+	}
+
+	if len(baselined) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d baselined finding(s) suppressed\n", len(baselined))
+	}
+	if len(newFindings) > 0 {
+		fmt.Print(analysis.Render(newFindings))
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(newFindings))
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	// Tiny n; insertion sort keeps imports lean.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
 }
