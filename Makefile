@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build test check lint lint-baseline race bench bench-json clean clean-store store-smoke
+.PHONY: all build test check lint lint-baseline race bench bench-json clean clean-store store-smoke serve-smoke
 
 all: build
 
@@ -27,6 +27,7 @@ check: build
 	$(GO) run ./tools/simlint -report simlint-report.json
 	$(GO) test -race -short ./...
 	$(MAKE) store-smoke
+	$(MAKE) serve-smoke
 
 # Durable-store round-trip smoke: the same design point simulated twice
 # against a fresh store must compute once and disk-hit once, and the store
@@ -40,6 +41,28 @@ store-smoke:
 	@$(GO) run ./cmd/scalesim store -dir .store-smoke
 	@rm -rf .store-smoke
 	@echo "store-smoke: ok"
+
+# Campaign-service smoke: start `scalesim serve` on an ephemeral port,
+# submit the same design point twice through `scalesim request` (compute,
+# then memory), drain the daemon with SIGINT, and verify the store it
+# left behind.
+serve-smoke:
+	@rm -rf .serve-smoke && mkdir -p .serve-smoke
+	@$(GO) build -o .serve-smoke/scalesim ./cmd/scalesim
+	@./.serve-smoke/scalesim serve -addr 127.0.0.1:0 -addrfile .serve-smoke/addr -store .serve-smoke/store & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s .serve-smoke/addr ] && break; sleep 0.1; done; \
+	[ -s .serve-smoke/addr ] || { echo "serve-smoke: daemon never published an address" >&2; kill $$pid 2>/dev/null; exit 1; }; \
+	addr=$$(cat .serve-smoke/addr); \
+	./.serve-smoke/scalesim request -server http://$$addr -machine 1:PRS -bench mcf -fast -client smoke | grep "server: compute" >/dev/null \
+		|| { echo "serve-smoke: first request did not compute" >&2; kill $$pid 2>/dev/null; exit 1; }; \
+	./.serve-smoke/scalesim request -server http://$$addr -machine 1:PRS -bench mcf -fast -client smoke | grep "server: memory" >/dev/null \
+		|| { echo "serve-smoke: repeat request was not memoized" >&2; kill $$pid 2>/dev/null; exit 1; }; \
+	kill -INT $$pid; \
+	wait $$pid || { echo "serve-smoke: daemon did not drain cleanly on SIGINT" >&2; exit 1; }
+	@$(GO) run ./cmd/scalesim store -dir .serve-smoke/store
+	@rm -rf .serve-smoke
+	@echo "serve-smoke: ok"
 
 # Static analysis over all eight simlint rules (see tools/simlint and
 # DESIGN.md, "Static analysis invariants"). Writes the machine-readable

@@ -1,0 +1,162 @@
+package apiv1
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"scalesim"
+)
+
+// sampleRequest builds a two-job batch exercising every JobSpec field,
+// custom profile included.
+func sampleRequest() *JobRequest {
+	opts := scalesim.FastOptions()
+	opts.Seed = 42
+	custom := scalesim.Profile{
+		Name:          "mine",
+		BaseCPI:       0.7,
+		LoadsPerKI:    220,
+		StoresPerKI:   90,
+		BranchesPerKI: 110,
+		MLP:           2.5,
+		CodeBytes:     1 << 16,
+		Regions: []scalesim.Region{
+			{SizeBytes: 1 << 24, Frac: 1.0, Pattern: scalesim.PatternZipf, ZipfS: 0.9},
+		},
+	}
+	return NewJobRequest("tenant-a", []scalesim.CampaignJob{
+		{
+			Machine:    scalesim.MachineSpec{Cores: 2, Policy: scalesim.PolicyPRS},
+			Benchmarks: []string{"mcf", "lbm"},
+			Options:    opts,
+		},
+		{
+			Machine:    scalesim.MachineSpec{Cores: 1, LLCPerCoreKB: 512},
+			Benchmarks: []string{"mine"},
+			Options:    opts,
+			Extra:      []scalesim.Profile{custom},
+		},
+	})
+}
+
+func TestJobRequestRoundTrip(t *testing.T) {
+	req := sampleRequest()
+	var buf bytes.Buffer
+	if err := Encode(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJobRequest(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, req) {
+		t.Fatalf("round trip changed the request:\n got %+v\nwant %+v", got, req)
+	}
+	// And the batch conversion is an inverse pair.
+	back := NewJobRequest(req.Client, got.CampaignJobs())
+	if !reflect.DeepEqual(back, req) {
+		t.Fatalf("CampaignJobs/NewJobRequest is not an inverse pair:\n got %+v\nwant %+v", back, req)
+	}
+}
+
+func TestJobResponseRoundTrip(t *testing.T) {
+	resp := &JobResponse{
+		Schema: Schema,
+		Outcomes: []JobOutcome{
+			{Job: 0, Source: "compute", Result: &scalesim.SimResult{Machine: "m", WallClockSec: 1.5}},
+			{Job: 1, Source: "coalesced", CacheHit: true},
+			{Job: 2, Error: "unknown benchmark \"nope\""},
+		},
+		Stats: scalesim.CampaignStats{Jobs: 3, UniqueRuns: 1, CoalescedHits: 1, Failures: 1},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJobResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, resp) {
+		t.Fatalf("round trip changed the response:\n got %+v\nwant %+v", got, resp)
+	}
+}
+
+func TestStatsAndHealthRoundTrip(t *testing.T) {
+	stats := &StatsResponse{
+		Schema:        Schema,
+		Stats:         scalesim.CampaignStats{Jobs: 9, UniqueRuns: 4, CoalescedHits: 3, DiskHits: 2},
+		QueueDepth:    1,
+		QueueCapacity: 64,
+		Shed:          5,
+		Clients:       2,
+		Draining:      true,
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, stats); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeStatsResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, stats) {
+		t.Fatalf("round trip changed the stats:\n got %+v\nwant %+v", got, stats)
+	}
+
+	buf.Reset()
+	errResp := &ErrorResponse{Schema: Schema, Error: "queue full", RetryAfterSec: 2}
+	if err := Encode(&buf, errResp); err != nil {
+		t.Fatal(err)
+	}
+	gotErr, err := DecodeErrorResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotErr, errResp) {
+		t.Fatalf("round trip changed the error response:\n got %+v\nwant %+v", gotErr, errResp)
+	}
+}
+
+func TestDecodeRejectsUnknownSchema(t *testing.T) {
+	body := `{"schema":"scalesim/api/v99","jobs":[{"machine":{"Cores":1,"Policy":"","Bandwidth":"","LLCPerCoreKB":0,"DRAMPerCoreGBps":0,"NoCPerCoreGBps":0},"benchmarks":["mcf"],"options":{}}]}`
+	_, err := DecodeJobRequest(strings.NewReader(body))
+	if !errors.Is(err, scalesim.ErrUnknownSchema) {
+		t.Fatalf("unknown schema error = %v, want ErrUnknownSchema", err)
+	}
+	_, err = DecodeJobResponse(strings.NewReader(`{"schema":"scalesim/api/v99","outcomes":null,"stats":{}}`))
+	if !errors.Is(err, scalesim.ErrUnknownSchema) {
+		t.Fatalf("unknown response schema error = %v, want ErrUnknownSchema", err)
+	}
+}
+
+func TestDecodeRejectsMissingSchemaAndEmptyBatch(t *testing.T) {
+	_, err := DecodeJobRequest(strings.NewReader(`{"jobs":[]}`))
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("missing schema error = %v, want ErrBadRequest", err)
+	}
+	_, err = DecodeJobRequest(strings.NewReader(`{"schema":"` + Schema + `","jobs":[]}`))
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("empty batch error = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestDecodeIsStrict(t *testing.T) {
+	// A typo'd field must fail, not silently simulate the wrong point.
+	body := `{"schema":"` + Schema + `","jobs":[{"machine":{"Cores":1},"benchmark":["mcf"],"options":{}}]}`
+	if _, err := DecodeJobRequest(strings.NewReader(body)); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("unknown field error = %v, want ErrBadRequest", err)
+	}
+	// Trailing data after the payload is malformed input.
+	var buf bytes.Buffer
+	if err := Encode(&buf, sampleRequest()); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(`{"second":"document"}`)
+	if _, err := DecodeJobRequest(&buf); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("trailing data error = %v, want ErrBadRequest", err)
+	}
+}

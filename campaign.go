@@ -60,9 +60,14 @@ type ResultSource string
 const (
 	// SourceCompute: the simulator actually ran for this job.
 	SourceCompute = ResultSource(runner.SourceCompute)
-	// SourceMemory: served by the in-memory memo cache, including
-	// deduplication against an identical in-flight job.
+	// SourceMemory: served by the in-memory memo cache — the identical
+	// design point had already completed when this job was submitted.
 	SourceMemory = ResultSource(runner.SourceMemory)
+	// SourceCoalesced: deduplicated against an identical design point that
+	// was still in flight — the job waited for that run instead of
+	// simulating. Batch campaigns and the serving daemon (`scalesim serve`)
+	// report request coalescing through this one value.
+	SourceCoalesced = ResultSource(runner.SourceCoalesced)
 	// SourceDisk: loaded from the campaign's durable store.
 	SourceDisk = ResultSource(runner.SourceDisk)
 )
@@ -105,18 +110,20 @@ type JobOutcome struct {
 
 // CampaignStats aggregates a campaign's execution counters.
 type CampaignStats struct {
-	Jobs         int // jobs submitted
-	UniqueRuns   int // simulator invocations (computes)
-	CacheHits    int // jobs served from the in-memory memo cache
-	DiskHits     int // jobs served from the durable store
-	Retries      int // transient failures retried (panics and I/O errors)
-	PanicRetries int // the panic subset of Retries
-	Failures     int // jobs that ended in an error
-	StoreCorrupt int // store artifacts quarantined and recomputed
+	Jobs          int // jobs submitted
+	UniqueRuns    int // simulator invocations (computes)
+	CacheHits     int // jobs served from the completed in-memory memo cache
+	CoalescedHits int // jobs deduplicated against an identical in-flight job
+	DiskHits      int // jobs served from the durable store
+	Retries       int // transient failures retried (panics and I/O errors)
+	PanicRetries  int // the panic subset of Retries
+	Failures      int // jobs that ended in an error
+	StoreCorrupt  int // store artifacts quarantined and recomputed
 }
 
 // HitRate returns the fraction of jobs served without simulating — from
-// the in-memory cache or the durable store.
+// the in-memory cache, by coalescing onto an in-flight run, or from the
+// durable store.
 func (s CampaignStats) HitRate() float64 {
 	return metrics.CampaignStats(s).HitRate()
 }

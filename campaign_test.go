@@ -62,7 +62,7 @@ func TestCampaignMemoizesAndPreservesOrder(t *testing.T) {
 		}
 	}
 	s := res.Stats
-	if s.Jobs != 8 || s.UniqueRuns != 4 || s.CacheHits != 4 || s.Failures != 0 {
+	if s.Jobs != 8 || s.UniqueRuns != 4 || s.CacheHits+s.CoalescedHits != 4 || s.Failures != 0 {
 		t.Fatalf("each unique design point must simulate exactly once: %+v", s)
 	}
 	if got := s.HitRate(); got != 0.5 {

@@ -10,6 +10,8 @@
 //	scalesim simulate -machine <cores>[:<policy>] -bench <a,b,...> [-fast]
 //	scalesim predict -bench <name> [-fast]
 //	scalesim experiment -fig <id> [-fast]
+//	scalesim serve [-addr <host:port>] [-workers N] [-store <dir>]
+//	scalesim request -bench <a,b,...> [-server <url>]
 //
 // Examples:
 //
@@ -55,6 +57,10 @@ func main() {
 		cmdStats(os.Args[2:])
 	case "store":
 		cmdStore(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
+	case "request":
+		cmdRequest(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -79,7 +85,13 @@ func usage() {
                                             concurrent design-space sweep on a scale model
   scalesim stats -trace FILE                summarise a JSONL trace file
   scalesim store -dir DIR                   verify a durable campaign store (artifacts,
-                                            checksums, interrupted jobs)`)
+                                            checksums, interrupted jobs)
+  scalesim serve [-addr HOST:PORT] [-workers N] [-queue N] [-store DIR]
+                                            run the campaign service: coalesces identical
+                                            concurrent requests, bounds admission with a
+                                            client-fair queue, drains on SIGINT/SIGTERM
+  scalesim request -bench A,B,... [-machine C[:POLICY]] [-server URL] [-client ID] [-fast]
+                                            submit one design point to a running daemon`)
 }
 
 func options(fast bool) scalesim.SimOptions {
@@ -220,14 +232,7 @@ func cmdSimulate(args []string) {
 		}
 		fmt.Printf("wrote %d epoch snapshots to %s\n", len(res.Trace), *traceFile)
 	}
-	fmt.Printf("machine %s  (DRAM util %.2f, NoC util %.2f, %.2fs wall-clock)\n",
-		res.Machine, res.DRAMUtilization, res.NoCUtilization, res.WallClockSec)
-	fmt.Printf("  %-4s %-11s %8s %10s %9s %9s\n", "core", "benchmark", "IPC", "LLC MPKI", "BW B/cyc", "mispred")
-	for _, c := range res.Cores {
-		fmt.Printf("  %-4d %-11s %8.3f %10.2f %9.3f %8.1f%%\n",
-			c.Core, c.Benchmark, c.IPC, c.LLCMPKI, c.BWBytesPerCycle, 100*c.BranchMispredictRate)
-	}
-	fmt.Printf("  average IPC: %.3f\n", res.AverageIPC())
+	printResult(res)
 	if *stats {
 		fmt.Println(scalesim.SummarizeTrace(res.Trace).String())
 	}

@@ -113,29 +113,31 @@ type Progress struct {
 // NOTE: the public scalesim.CampaignStats mirrors this struct field for
 // field (a direct struct conversion); keep names, types, and order in sync.
 type CampaignStats struct {
-	Jobs         int // jobs submitted
-	UniqueRuns   int // simulator invocations (computes)
-	CacheHits    int // jobs served from the in-memory memo cache
-	DiskHits     int // jobs served from the durable result store
-	Retries      int // transient failures retried (panics and I/O errors)
-	PanicRetries int // the panic subset of Retries
-	Failures     int // jobs that ended in an error
-	StoreCorrupt int // store artifacts quarantined and recomputed
+	Jobs          int // jobs submitted
+	UniqueRuns    int // simulator invocations (computes)
+	CacheHits     int // jobs served from the completed in-memory memo cache
+	CoalescedHits int // jobs deduplicated against an identical in-flight job
+	DiskHits      int // jobs served from the durable result store
+	Retries       int // transient failures retried (panics and I/O errors)
+	PanicRetries  int // the panic subset of Retries
+	Failures      int // jobs that ended in an error
+	StoreCorrupt  int // store artifacts quarantined and recomputed
 }
 
 // HitRate returns the fraction of jobs served without simulating — from the
-// in-memory cache or the durable store.
+// in-memory cache, by coalescing onto an in-flight run, or from the durable
+// store.
 func (s CampaignStats) HitRate() float64 {
 	if s.Jobs == 0 {
 		return 0
 	}
-	return float64(s.CacheHits+s.DiskHits) / float64(s.Jobs)
+	return float64(s.CacheHits+s.CoalescedHits+s.DiskHits) / float64(s.Jobs)
 }
 
 // String renders the stats as a one-line report.
 func (s CampaignStats) String() string {
-	out := fmt.Sprintf("%d jobs: %d simulated, %d cached, %d from store (%.0f%% hit rate), %d failed",
-		s.Jobs, s.UniqueRuns, s.CacheHits, s.DiskHits, 100*s.HitRate(), s.Failures)
+	out := fmt.Sprintf("%d jobs: %d simulated, %d cached, %d coalesced, %d from store (%.0f%% hit rate), %d failed",
+		s.Jobs, s.UniqueRuns, s.CacheHits, s.CoalescedHits, s.DiskHits, 100*s.HitRate(), s.Failures)
 	if s.Retries > 0 {
 		out += fmt.Sprintf(", %d retried", s.Retries)
 	}

@@ -20,8 +20,9 @@
 // the seed). Two jobs collide only if they describe the same simulation, in
 // which case the second is served the first's result — including across
 // concurrent submissions (in-flight deduplication: the duplicate waits
-// instead of re-simulating). Keys are byte-stable across processes, so they
-// are also safe to persist.
+// instead of re-simulating, and its outcome reports SourceCoalesced rather
+// than SourceMemory). Keys are byte-stable across processes, so they are
+// also safe to persist.
 //
 // A second, durable memoization tier sits behind the in-memory map when a
 // ResultStore is attached (SetStore): a job missing from memory is looked up
@@ -93,9 +94,12 @@ type Source string
 const (
 	// SourceCompute: the simulator actually ran for this job.
 	SourceCompute Source = "compute"
-	// SourceMemory: served by the in-memory memo cache, including
-	// deduplication against an identical in-flight job.
+	// SourceMemory: served by the in-memory memo cache — the identical job
+	// had already completed when this one was submitted.
 	SourceMemory Source = "memory"
+	// SourceCoalesced: deduplicated against an identical job that was still
+	// in flight — this job waited for that run instead of simulating.
+	SourceCoalesced Source = "coalesced"
 	// SourceDisk: loaded from the attached ResultStore.
 	SourceDisk Source = "disk"
 )
@@ -367,13 +371,24 @@ func (e *Engine) Run(ctx context.Context, job Job) Outcome {
 	e.mu.Lock()
 	e.stats.Jobs++
 	if ent, ok := e.cache[key]; ok {
-		e.stats.CacheHits++
+		// Distinguish a hit on a completed entry (memory) from coalescing
+		// onto a still-in-flight run: the result is identical either way,
+		// but the served/batch paths report the dedup through one shared
+		// vocabulary (SourceMemory vs SourceCoalesced).
+		select {
+		case <-ent.done:
+			e.stats.CacheHits++
+			e.mu.Unlock()
+			return Outcome{Result: ent.res, Err: ent.err, Source: SourceMemory, CacheHit: true, Retries: ent.retries}
+		default:
+		}
+		e.stats.CoalescedHits++
 		e.mu.Unlock()
 		select {
 		case <-ent.done:
-			return Outcome{Result: ent.res, Err: ent.err, Source: SourceMemory, CacheHit: true, Retries: ent.retries}
+			return Outcome{Result: ent.res, Err: ent.err, Source: SourceCoalesced, CacheHit: true, Retries: ent.retries}
 		case <-ctx.Done():
-			return Outcome{Err: ctx.Err(), Source: SourceMemory, CacheHit: true}
+			return Outcome{Err: ctx.Err(), Source: SourceCoalesced, CacheHit: true}
 		}
 	}
 	ent := &entry{done: make(chan struct{})}

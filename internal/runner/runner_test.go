@@ -195,6 +195,56 @@ func TestInFlightDeduplication(t *testing.T) {
 	if calls.Load() != 1 {
 		t.Fatalf("%d executions for 8 concurrent identical jobs", calls.Load())
 	}
+	s := e.Stats()
+	if s.CacheHits+s.CoalescedHits != 7 || s.UniqueRuns != 1 {
+		t.Fatalf("8 identical jobs must yield 1 run and 7 deduplications: %+v", s)
+	}
+}
+
+// TestCoalescedSource pins the served-vocabulary contract: a job submitted
+// while its identical twin is still simulating reports SourceCoalesced and
+// counts as a CoalescedHit, while a job submitted after completion reports
+// SourceMemory and counts as a CacheHit.
+func TestCoalescedSource(t *testing.T) {
+	e := New(2)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	e.SetRunFunc(func(ctx context.Context, _ *config.SystemConfig, _ sim.Workload, o sim.Options) (*sim.Result, error) {
+		close(entered)
+		<-release
+		return fakeResult(o.Seed), nil
+	})
+
+	first := make(chan Outcome, 1)
+	go func() { first <- e.Run(context.Background(), job(1)) }()
+	<-entered // the leader is now in flight
+
+	second := make(chan Outcome, 1)
+	go func() { second <- e.Run(context.Background(), job(1)) }()
+	// The follower registered Jobs before blocking on the entry; wait for it
+	// so the release below cannot race its lookup.
+	for e.Stats().CoalescedHits == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	if oc := <-first; oc.Err != nil || oc.Source != SourceCompute {
+		t.Fatalf("leader outcome %+v, want computed", oc)
+	}
+	if oc := <-second; oc.Err != nil || oc.Source != SourceCoalesced || !oc.CacheHit {
+		t.Fatalf("in-flight follower outcome %+v, want SourceCoalesced cache hit", oc)
+	}
+	// After completion the entry serves as a plain memory hit.
+	if oc := e.Run(context.Background(), job(1)); oc.Source != SourceMemory {
+		t.Fatalf("post-completion outcome %+v, want SourceMemory", oc)
+	}
+	s := e.Stats()
+	if s.UniqueRuns != 1 || s.CoalescedHits != 1 || s.CacheHits != 1 {
+		t.Fatalf("stats %+v, want 1 run / 1 coalesced / 1 memory hit", s)
+	}
+	if s.HitRate() != 2.0/3.0 {
+		t.Fatalf("HitRate = %v, want 2/3 (coalesced hits count)", s.HitRate())
+	}
 }
 
 func TestPanicRetryThenSuccess(t *testing.T) {

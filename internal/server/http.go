@@ -1,0 +1,142 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"scalesim"
+	apiv1 "scalesim/api/v1"
+)
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /v1/jobs  — run an apiv1.JobRequest batch, respond apiv1.JobResponse
+//	GET  /healthz  — liveness; 200 "ok" serving, 503 "draining" during drain
+//	GET  /statsz   — apiv1.StatsResponse: campaign counters + queue state
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /statsz", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	req, err := apiv1.DecodeJobRequest(r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	outcomes := s.submitBatch(r.Context(), req.Client, req.CampaignJobs())
+
+	// Admission failures decide the status: a drain refusal is
+	// server-wide (503), and a batch shed in its entirety is pure
+	// backpressure (429 + Retry-After). A partially shed batch still
+	// returns its completed outcomes; the shed jobs carry queue-full
+	// errors.
+	shed, ok := 0, 0
+	for _, oc := range outcomes {
+		switch {
+		case errors.Is(oc.admissionErr, ErrDraining):
+			s.writeError(w, http.StatusServiceUnavailable, oc.admissionErr)
+			return
+		case errors.Is(oc.admissionErr, ErrQueueFull):
+			shed++
+		default:
+			ok++
+		}
+	}
+	if shed > 0 && ok == 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSec))
+		s.writeError(w, http.StatusTooManyRequests, outcomes[0].admissionErr)
+		return
+	}
+
+	resp := &apiv1.JobResponse{Schema: apiv1.Schema, Stats: s.Stats()}
+	for _, oc := range outcomes {
+		resp.Outcomes = append(resp.Outcomes, oc.wire)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// batchOutcome pairs a job's wire outcome with its admission error, which
+// shapes the HTTP status rather than the payload.
+type batchOutcome struct {
+	wire         apiv1.JobOutcome
+	admissionErr error
+}
+
+// submitBatch runs every job of a request concurrently, so identical
+// design points inside one batch coalesce exactly like concurrent
+// requests do. Outcomes return in submission order.
+func (s *Server) submitBatch(ctx context.Context, client string, jobs []scalesim.CampaignJob) []batchOutcome {
+	out := make([]batchOutcome, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			oc, err := s.Submit(ctx, client, jobs[i])
+			out[i] = batchOutcome{wire: wireOutcome(i, oc), admissionErr: err}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// wireOutcome converts a public JobOutcome to its apiv1 form.
+func wireOutcome(i int, oc scalesim.JobOutcome) apiv1.JobOutcome {
+	out := apiv1.JobOutcome{
+		Job:      i,
+		Source:   string(oc.Source),
+		CacheHit: oc.CacheHit,
+		Retries:  oc.Retries,
+		Result:   oc.Result,
+	}
+	if oc.Err != nil {
+		out.Error = oc.Err.Error()
+	}
+	return out
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := &apiv1.HealthResponse{Schema: apiv1.Schema, Status: "ok"}
+	status := http.StatusOK
+	if s.Draining() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, status, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	q := s.queue.snapshot()
+	s.writeJSON(w, http.StatusOK, &apiv1.StatsResponse{
+		Schema:        apiv1.Schema,
+		Stats:         s.Stats(),
+		QueueDepth:    q.depth,
+		QueueCapacity: q.capacity,
+		Shed:          q.shed,
+		Clients:       q.clients,
+		Draining:      s.Draining(),
+	})
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	resp := &apiv1.ErrorResponse{Schema: apiv1.Schema, Error: err.Error()}
+	if status == http.StatusTooManyRequests {
+		resp.RetryAfterSec = s.retryAfterSec
+	}
+	s.writeJSON(w, status, resp)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// An encode failure here means the client went away; there is nothing
+	// left to report to.
+	_ = apiv1.Encode(w, v)
+}

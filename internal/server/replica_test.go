@@ -1,0 +1,92 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"scalesim"
+	apiv1 "scalesim/api/v1"
+)
+
+// replicaJob is a real, tiny design point — small enough to simulate in
+// milliseconds, real enough to exercise the full store round trip.
+func replicaJob() scalesim.CampaignJob {
+	opts := scalesim.FastOptions()
+	opts.Instructions = 60_000
+	opts.Warmup = 20_000
+	opts.Seed = 11
+	return scalesim.CampaignJob{
+		Machine:    scalesim.MachineSpec{Cores: 2, Bandwidth: scalesim.BandwidthMCFirst},
+		Benchmarks: scalesim.BenchmarkNames()[:2],
+		Options:    opts,
+	}
+}
+
+// startReplica builds a real-service server over the shared store dir.
+func startReplica(t *testing.T, storeDir string) (*httptest.Server, func()) {
+	t.Helper()
+	svc, err := scalesim.NewService(scalesim.ServiceConfig{Store: storeDir})
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	s := New(NewServiceBackend(svc), Config{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Start(ctx)
+	ts := httptest.NewServer(s.Handler())
+	stop := func() {
+		ts.Close()
+		s.Drain()
+		cancel()
+		if err := svc.Close(); err != nil {
+			t.Errorf("closing service: %v", err)
+		}
+	}
+	return ts, stop
+}
+
+// TestReplicasShareStore is the N-replica contract: a second server
+// instance pointed at the first one's store directory serves the same
+// design point from disk, bit-identically, without simulating.
+func TestReplicasShareStore(t *testing.T) {
+	storeDir := filepath.Join(t.TempDir(), "store")
+
+	tsA, stopA := startReplica(t, storeDir)
+	first := decodeOK(t, postJobs(t, tsA.URL, "a", []scalesim.CampaignJob{replicaJob()}))
+	stopA()
+	if oc := first.Outcomes[0]; oc.Error != "" || oc.Source != string(scalesim.SourceCompute) {
+		t.Fatalf("replica A outcome = %+v, want a fresh compute", oc)
+	}
+
+	tsB, stopB := startReplica(t, storeDir)
+	defer stopB()
+	second := decodeOK(t, postJobs(t, tsB.URL, "b", []scalesim.CampaignJob{replicaJob()}))
+	oc := second.Outcomes[0]
+	if oc.Error != "" || oc.Source != string(scalesim.SourceDisk) || !oc.CacheHit {
+		t.Fatalf("replica B outcome source = %q (cache hit %v), want a disk hit", oc.Source, oc.CacheHit)
+	}
+	if !reflect.DeepEqual(first.Outcomes[0].Result, oc.Result) {
+		t.Errorf("replica B result differs from replica A:\n A: %+v\n B: %+v",
+			first.Outcomes[0].Result, oc.Result)
+	}
+	if second.Stats.UniqueRuns != 0 || second.Stats.DiskHits != 1 {
+		t.Errorf("replica B stats = %+v, want zero computes and one disk hit", second.Stats)
+	}
+
+	// /statsz agrees.
+	resp, err := http.Get(tsB.URL + "/statsz")
+	if err != nil {
+		t.Fatalf("GET /statsz: %v", err)
+	}
+	stats, err := apiv1.DecodeStatsResponse(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decode statsz: %v", err)
+	}
+	if stats.Stats.DiskHits != 1 || stats.Draining {
+		t.Errorf("statsz = %+v, want one disk hit on a live server", stats)
+	}
+}

@@ -1,0 +1,114 @@
+package scalesim
+
+import (
+	"context"
+	"fmt"
+
+	"scalesim/internal/runner"
+	"scalesim/internal/store"
+)
+
+// ServiceConfig configures a long-lived Service.
+type ServiceConfig struct {
+	// Workers sizes the engine's internal pool for batch use; Service
+	// callers that drive jobs one at a time (like `scalesim serve`) bound
+	// concurrency themselves and may leave it zero.
+	Workers int
+	// Store, when non-empty, is the durable memoization directory shared
+	// with batch campaigns: results a campaign computed serve from disk,
+	// and results the service computes are visible to later campaigns.
+	// Several service replicas may share one store directory.
+	Store string
+	// Retry bounds transient-failure retries; the zero value selects the
+	// default policy.
+	Retry RetryPolicy
+}
+
+// Service is a long-lived handle on the campaign engine: one memoization
+// hierarchy (memory, optional durable store) that outlives any single
+// batch. `scalesim serve` runs every request through one Service, so
+// identical design points submitted by different clients — or by the same
+// client across requests — simulate exactly once. The zero value is not
+// usable; construct with NewService and Close when done.
+//
+// A Service is safe for concurrent use.
+type Service struct {
+	eng *runner.Engine
+	st  *store.Store
+}
+
+// NewService opens the store (when configured) and assembles the engine.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	eng := runner.New(cfg.Workers)
+	if cfg.Retry != (RetryPolicy{}) {
+		eng.SetRetry(runner.RetryPolicy(cfg.Retry))
+	}
+	svc := &Service{eng: eng}
+	if cfg.Store != "" {
+		st, err := store.Open(cfg.Store)
+		if err != nil {
+			return nil, fmt.Errorf("scalesim: opening service store: %w", err)
+		}
+		svc.st = st
+		eng.SetStore(st)
+	}
+	return svc, nil
+}
+
+// PreparedJob is a validated, compiled design point: the machine resolved
+// to a concrete configuration, benchmarks resolved against the suite, and
+// the content-addressed identity computed. Preparing is cheap and does not
+// simulate.
+type PreparedJob struct {
+	key string
+	job runner.Job
+}
+
+// Key returns the job's content-addressed identity: equal keys mean the
+// same design point, bit-for-bit the same result. Serving layers use it to
+// coalesce identical concurrent requests.
+func (p *PreparedJob) Key() string { return p.key }
+
+// Prepare validates and compiles one campaign job. Invalid specs fail here
+// with the matching ErrUnknown* sentinel, before any queueing or
+// simulation.
+func (s *Service) Prepare(job CampaignJob) (*PreparedJob, error) {
+	cfg, wl, err := buildRun(job.Machine, job.Benchmarks, job.Extra)
+	if err != nil {
+		return nil, err
+	}
+	rj := runner.Job{Config: cfg, Workload: wl, Options: job.Options.internal()}
+	return &PreparedJob{key: rj.Key(), job: rj}, nil
+}
+
+// RunJobContext executes one prepared job through the memoization
+// hierarchy — memory, durable store, then compute — and reports the
+// outcome. The outcome's Job index is zero; callers tracking batch
+// positions set it themselves.
+//
+// Cancelling ctx aborts an in-flight simulation at its next epoch
+// boundary; jobs another caller is already computing are waited on and
+// reported as SourceCoalesced.
+func (s *Service) RunJobContext(ctx context.Context, p *PreparedJob) JobOutcome {
+	oc := s.eng.Run(ctx, p.job)
+	out := JobOutcome{Err: oc.Err, Source: ResultSource(oc.Source), CacheHit: oc.CacheHit, Retries: oc.Retries}
+	if oc.Result != nil {
+		out.Result = resultFromInternal(oc.Result)
+	}
+	return out
+}
+
+// Stats snapshots the engine's counters across every job the service has
+// run since construction.
+func (s *Service) Stats() CampaignStats {
+	return CampaignStats(s.eng.Stats())
+}
+
+// Close releases the durable store, if any. The Service must not be used
+// afterwards.
+func (s *Service) Close() error {
+	if s.st != nil {
+		return s.st.Close()
+	}
+	return nil
+}

@@ -24,15 +24,20 @@ func RepoConfig(root string) analysis.Config {
 			"internal/scalemodel",
 			"internal/runner",
 			"internal/store",
+			// The serving layer schedules work, so its decisions (admission
+			// order, coalescing) must be a pure function of request arrival
+			// order — no wall clock, no map-iteration order.
+			"internal/server",
 		},
 		KeyFile:    "internal/runner/key.go",
 		KeyRoots:   []string{"internal/runner.Job"},
 		UnitsDir:   "internal/units",
-		Goroutines: []string{"internal/runner", "internal/store"},
+		Goroutines: []string{"internal/runner", "internal/store", "internal/server"},
 		// The root package must keep at least Simulate/SimulateParallel/
-		// RunCampaign as Context pairs; a refactor that hides them from the
-		// analyzer would otherwise silently void the rule.
-		APIPairMin: map[string]int{"": 3},
+		// RunCampaign as Context pairs, and the serving layer its
+		// ListenAndServe pair; a refactor that hides them from the analyzer
+		// would otherwise silently void the rule.
+		APIPairMin: map[string]int{"": 3, "internal/server": 1},
 	}
 	// Suppressions always validate against the full registry, even when the
 	// driver runs a rule subset.
