@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build test check lint lint-baseline race bench bench-json clean clean-store store-smoke serve-smoke
+.PHONY: all build test check lint lint-baseline race bench bench-json clean clean-store store-smoke serve-smoke surrogate-smoke
 
 all: build
 
@@ -28,6 +28,7 @@ check: build
 	$(GO) test -race -short ./...
 	$(MAKE) store-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) surrogate-smoke
 
 # Durable-store round-trip smoke: the same design point simulated twice
 # against a fresh store must compute once and disk-hit once, and the store
@@ -41,6 +42,20 @@ store-smoke:
 	@$(GO) run ./cmd/scalesim store -dir .store-smoke
 	@rm -rf .store-smoke
 	@echo "store-smoke: ok"
+
+# Surrogate-tier smoke: a sequential dense DRAM sweep with the learned fast
+# path on (gates wide open, training threshold at the base grid) must
+# compute the 5 base points, then serve the 4 midpoints from the model —
+# visible both per point and in the campaign stats line.
+surrogate-smoke:
+	@$(GO) run ./cmd/scalesim sweep -knob dram -dense -workers 1 \
+		-surrogate -surrogate-min 5 -surrogate-gate 1e9 -surrogate-dist 1e9 \
+		| tee .surrogate-smoke.out | grep "from model (approximate)" >/dev/null \
+		|| { echo "surrogate-smoke: no model hits in the dense sweep" >&2; cat .surrogate-smoke.out >&2; rm -f .surrogate-smoke.out; exit 1; }
+	@grep -c "(approximate, from model)" .surrogate-smoke.out | grep -q "^4$$" \
+		|| { echo "surrogate-smoke: expected exactly 4 model-served midpoints" >&2; cat .surrogate-smoke.out >&2; rm -f .surrogate-smoke.out; exit 1; }
+	@rm -f .surrogate-smoke.out
+	@echo "surrogate-smoke: ok"
 
 # Campaign-service smoke: start `scalesim serve` on an ephemeral port,
 # submit the same design point twice through `scalesim request` (compute,
@@ -96,4 +111,4 @@ clean:
 # Remove durable campaign stores created by the smoke step or local runs
 # with the conventional .scalesim-store directory.
 clean-store:
-	rm -rf .store-smoke .scalesim-store
+	rm -rf .store-smoke .scalesim-store .surrogate-smoke.out

@@ -23,8 +23,9 @@
 // benchmark mix, simulation options, optional custom profiles — exactly
 // the public scalesim.CampaignJob vocabulary). A JobResponse returns one
 // JobOutcome per job in submission order, each reporting where its result
-// came from ("compute", "memory", "coalesced", "disk") plus the serving
-// engine's CampaignStats snapshot.
+// came from ("compute", "memory", "coalesced", "disk", "model") plus the
+// serving engine's CampaignStats snapshot. Results served by the surrogate
+// model carry an explicit "approximate" marker.
 package apiv1
 
 import (
@@ -74,11 +75,18 @@ type JobOutcome struct {
 	// Job is the submission-order index into JobRequest.Jobs.
 	Job int `json:"job"`
 	// Source is the ResultSource vocabulary: "compute", "memory",
-	// "coalesced" (deduplicated against an identical in-flight request) or
-	// "disk". Empty for jobs that never ran.
+	// "coalesced" (deduplicated against an identical in-flight request),
+	// "disk", or "model" (predicted by the surrogate tier). Empty for jobs
+	// that never ran.
 	Source string `json:"source,omitempty"`
 	// CacheHit reports whether the job was served without simulating.
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// Approximate marks a result predicted by the surrogate model rather
+	// than simulated (source "model", or "coalesced" onto a model-served
+	// flight). Clients needing ground truth must treat such results as
+	// estimates; resubmitting against a service without the surrogate tier
+	// (or after the gate tightens) yields the exact result.
+	Approximate bool `json:"approximate,omitempty"`
 	// Retries counts failed attempts before the final one.
 	Retries int `json:"retries,omitempty"`
 	// Error is the job's failure, if any (empty on success).

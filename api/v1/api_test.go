@@ -85,6 +85,42 @@ func TestJobResponseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestApproximateMarkerOnWire pins the surrogate tier's wire contract: a
+// model-served outcome carries an explicit "approximate" marker, a
+// ground-truth outcome omits the field entirely, and ModelHits is visible
+// in the stats snapshot.
+func TestApproximateMarkerOnWire(t *testing.T) {
+	resp := &JobResponse{
+		Schema: Schema,
+		Outcomes: []JobOutcome{
+			{Job: 0, Source: "model", CacheHit: true, Approximate: true, Result: &scalesim.SimResult{Machine: "m"}},
+			{Job: 1, Source: "compute", Result: &scalesim.SimResult{Machine: "m"}},
+		},
+		Stats: scalesim.CampaignStats{Jobs: 2, UniqueRuns: 1, ModelHits: 1},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.String()
+	if !strings.Contains(wire, `"approximate":true`) {
+		t.Fatalf("model outcome lacks the approximate marker: %s", wire)
+	}
+	if strings.Count(wire, `"approximate"`) != 1 {
+		t.Fatalf("approximate must be omitted from exact outcomes: %s", wire)
+	}
+	if !strings.Contains(wire, `"ModelHits":1`) {
+		t.Fatalf("ModelHits missing from the stats snapshot: %s", wire)
+	}
+	got, err := DecodeJobResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, resp) {
+		t.Fatalf("round trip changed the response:\n got %+v\nwant %+v", got, resp)
+	}
+}
+
 func TestStatsAndHealthRoundTrip(t *testing.T) {
 	stats := &StatsResponse{
 		Schema:        Schema,

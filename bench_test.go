@@ -14,6 +14,7 @@ package scalesim
 // to run at reduced fidelity (~10x faster; conclusions unchanged).
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -362,5 +363,97 @@ func BenchmarkExt_PrefetchRobustness(b *testing.B) {
 		printFigure("ext-prefetch", res)
 		b.ReportMetric(100*res.SummaryOff.Mean, "err_off_pct")
 		b.ReportMetric(100*res.SummaryOn.Mean, "err_on_pct")
+	}
+}
+
+// surrogateBenchService builds a service with a trained surrogate: the base
+// DRAM-bandwidth grid is computed (and observed), so the returned midpoint
+// job serves from the model on every subsequent run (model-served entries
+// are never memoized, by design).
+func surrogateBenchService(b *testing.B) (*Service, *PreparedJob) {
+	b.Helper()
+	jobs, base := surrogateBenchSweep()
+	svc, err := NewService(ServiceConfig{
+		Surrogate: &SurrogateConfig{MinTrain: base, VarGate: 1e9, DistGate: 1e9, RefitEvery: 1, Trees: 8},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { svc.Close() })
+	for _, j := range jobs[:base] {
+		p, err := svc.Prepare(j)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if oc := svc.RunJobContext(context.Background(), p); oc.Err != nil {
+			b.Fatal(oc.Err)
+		}
+	}
+	mid, err := svc.Prepare(jobs[base])
+	if err != nil {
+		b.Fatal(err)
+	}
+	return svc, mid
+}
+
+// surrogateBenchSweep is the benchmark's design-space grid: the base points
+// train the model, the point at the returned index queries it.
+func surrogateBenchSweep() ([]CampaignJob, int) {
+	opts := FastOptions()
+	opts.Instructions = 60_000
+	opts.Warmup = 20_000
+	bench := BenchmarkNames()[:1]
+	var jobs []CampaignJob
+	for _, gb := range []float64{1, 2, 4, 8, 16, 6} {
+		jobs = append(jobs, CampaignJob{
+			Machine:    MachineSpec{Cores: 1, DRAMPerCoreGBps: gb},
+			Benchmarks: bench,
+			Options:    opts,
+		})
+	}
+	return jobs, 5
+}
+
+// BenchmarkSurrogate_ModelHit measures the learned tier's serving latency:
+// one design-point query answered by the trained forest (gate included).
+// Compare against BenchmarkSurrogate_Compute for the tier's speedup.
+func BenchmarkSurrogate_ModelHit(b *testing.B) {
+	svc, mid := surrogateBenchService(b)
+	// Warm check: the query must actually serve from the model.
+	if oc := svc.RunJobContext(context.Background(), mid); oc.Source != SourceModel {
+		b.Fatalf("midpoint served from %q, want model", oc.Source)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oc := svc.RunJobContext(context.Background(), mid)
+		if oc.Err != nil || oc.Source != SourceModel {
+			b.Fatalf("outcome %+v", oc)
+		}
+	}
+}
+
+// BenchmarkSurrogate_Compute measures what the model hit replaces: the same
+// class of design point through the full simulator (fresh seed per
+// iteration, so memoization never serves it).
+func BenchmarkSurrogate_Compute(b *testing.B) {
+	jobs, base := surrogateBenchSweep()
+	svc, err := NewService(ServiceConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { svc.Close() })
+	job := jobs[base]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := job
+		j.Options.Seed = uint64(i + 1)
+		p, err := svc.Prepare(j)
+		if err != nil {
+			b.Fatal(err)
+		}
+		oc := svc.RunJobContext(context.Background(), p)
+		if oc.Err != nil || oc.Source != SourceCompute {
+			b.Fatalf("outcome %+v", oc)
+		}
 	}
 }

@@ -43,6 +43,13 @@ type Campaign struct {
 	// exponential backoff. The zero value selects the default policy (one
 	// retry); deterministic simulation errors are never retried.
 	Retry RetryPolicy
+	// Surrogate, when non-nil, enables the learned fast path: design
+	// points the trained model is confident about are answered by the
+	// model (SourceModel, approximate) instead of simulating, and every
+	// computed result feeds the training set. Nil — the default — changes
+	// nothing. When Store is also set, the training set persists in
+	// <Store>/surrogate across processes. See SurrogateConfig.
+	Surrogate *SurrogateConfig
 }
 
 // RetryPolicy bounds transient-failure retries. Attempt n (1-based) that
@@ -70,6 +77,11 @@ const (
 	SourceCoalesced = ResultSource(runner.SourceCoalesced)
 	// SourceDisk: loaded from the campaign's durable store.
 	SourceDisk = ResultSource(runner.SourceDisk)
+	// SourceModel: predicted by the surrogate model instead of simulating —
+	// an approximate answer (JobOutcome.Approximate is set). Only possible
+	// when a surrogate tier is configured; the memory and disk tiers hold
+	// ground truth exclusively.
+	SourceModel = ResultSource(runner.SourceModel)
 )
 
 // CampaignProgress is one campaign progress event.
@@ -102,10 +114,14 @@ type JobOutcome struct {
 	// ran (invalid specs, jobs cut off by cancellation before starting).
 	Source ResultSource
 	// CacheHit reports whether the job was served without simulating
-	// (Source is memory or disk).
+	// (Source is memory, disk, or model).
 	CacheHit bool
 	// Retries counts failed attempts before the final one (0 normally).
 	Retries int
+	// Approximate marks a result predicted by the surrogate model rather
+	// than simulated: SourceModel, or SourceCoalesced onto a model-served
+	// flight. Ground-truth outcomes always report false.
+	Approximate bool
 }
 
 // CampaignStats aggregates a campaign's execution counters.
@@ -115,6 +131,7 @@ type CampaignStats struct {
 	CacheHits     int // jobs served from the completed in-memory memo cache
 	CoalescedHits int // jobs deduplicated against an identical in-flight job
 	DiskHits      int // jobs served from the durable store
+	ModelHits     int // jobs served (approximately) by the surrogate model
 	Retries       int // transient failures retried (panics and I/O errors)
 	PanicRetries  int // the panic subset of Retries
 	Failures      int // jobs that ended in an error
@@ -122,8 +139,8 @@ type CampaignStats struct {
 }
 
 // HitRate returns the fraction of jobs served without simulating — from
-// the in-memory cache, by coalescing onto an in-flight run, or from the
-// durable store.
+// the in-memory cache, by coalescing onto an in-flight run, from the
+// durable store, or by the surrogate model.
 func (s CampaignStats) HitRate() float64 {
 	return metrics.CampaignStats(s).HitRate()
 }
@@ -186,6 +203,11 @@ func RunCampaignContext(ctx context.Context, c Campaign) (*CampaignResult, error
 	if c.Retry != (RetryPolicy{}) {
 		eng.SetRetry(runner.RetryPolicy(c.Retry))
 	}
+	if c.Surrogate != nil {
+		if _, err := attachSurrogate(eng, c.Surrogate, c.Store); err != nil {
+			return nil, err
+		}
+	}
 	jobs := make([]runner.Job, len(c.Jobs))
 	errs := make([]error, len(c.Jobs))
 	for i, cj := range c.Jobs {
@@ -233,7 +255,7 @@ func RunCampaignContext(ctx context.Context, c Campaign) (*CampaignResult, error
 	res.Stats.Failures += len(c.Jobs) - len(valid)
 	for k, o := range outcomes {
 		i := validIdx[k]
-		out := JobOutcome{Job: i, Err: o.Err, Source: ResultSource(o.Source), CacheHit: o.CacheHit, Retries: o.Retries}
+		out := JobOutcome{Job: i, Err: o.Err, Source: ResultSource(o.Source), CacheHit: o.CacheHit, Retries: o.Retries, Approximate: o.Approximate}
 		if o.Result != nil {
 			out.Result = resultFromInternal(o.Result)
 		}

@@ -363,6 +363,22 @@ func cmdExperiment(args []string) {
 	}
 }
 
+// surrogateFlags registers the shared surrogate-tier flags on fs and
+// returns a closure producing the resulting configuration after parsing
+// (nil when the tier stays off).
+func surrogateFlags(fs *flag.FlagSet) func() *scalesim.SurrogateConfig {
+	on := fs.Bool("surrogate", false, "enable the learned fast path (memory → disk → model → compute)")
+	min := fs.Int("surrogate-min", 0, "ground-truth points required before the model serves (0 = default)")
+	gate := fs.Float64("surrogate-gate", 0, "ensemble-agreement gate: max relative per-tree std (0 = default)")
+	dist := fs.Float64("surrogate-dist", 0, "novelty gate: max scaled distance to the nearest training point (0 = default)")
+	return func() *scalesim.SurrogateConfig {
+		if !*on {
+			return nil
+		}
+		return &scalesim.SurrogateConfig{MinTrain: *min, VarGate: *gate, DistGate: *dist}
+	}
+}
+
 func cmdSweep(args []string) {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	knob := fs.String("knob", "llc", "what to sweep: llc (per-core KB) or dram (per-core GB/s)")
@@ -371,6 +387,8 @@ func cmdSweep(args []string) {
 	fast := fs.Bool("fast", true, "reduced fidelity")
 	workers := fs.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS)")
 	storeDir := fs.String("store", "", "durable result store directory: reuse results across invocations")
+	dense := fs.Bool("dense", false, "also sweep the knob-grid midpoints (appended after the base grid)")
+	surrogate := surrogateFlags(fs)
 	_ = fs.Parse(args)
 
 	type point struct {
@@ -380,6 +398,11 @@ func cmdSweep(args []string) {
 	var points []point
 	switch *knob {
 	case "llc":
+		if *dense {
+			// LLC capacities must keep power-of-two set counts, so the grid
+			// has no valid midpoints to densify with.
+			log.Fatal("-dense requires -knob dram (LLC sizes are constrained to power-of-two sets)")
+		}
 		for _, kb := range []int{256, 512, 1024, 2048, 4096} {
 			points = append(points, point{
 				label: fmt.Sprintf("%4d KB LLC/core", kb),
@@ -387,9 +410,17 @@ func cmdSweep(args []string) {
 			})
 		}
 	case "dram":
-		for _, gb := range []float64{1, 2, 4, 8, 16} {
+		grid := []float64{1, 2, 4, 8, 16}
+		if *dense {
+			// Midpoints ride after the base grid: with the surrogate on, the
+			// base points train the model and the midpoints exercise it.
+			for i := 0; i+1 < 5; i++ {
+				grid = append(grid, (grid[i]+grid[i+1])/2)
+			}
+		}
+		for _, gb := range grid {
 			points = append(points, point{
-				label: fmt.Sprintf("%4.0f GB/s DRAM/core", gb),
+				label: fmt.Sprintf("%4.1f GB/s DRAM/core", gb),
 				spec:  scalesim.MachineSpec{Cores: *cores, DRAMPerCoreGBps: gb},
 			})
 		}
@@ -401,7 +432,7 @@ func cmdSweep(args []string) {
 	for i := range wl {
 		wl[i] = *bench
 	}
-	campaign := scalesim.Campaign{Workers: *workers, Store: *storeDir}
+	campaign := scalesim.Campaign{Workers: *workers, Store: *storeDir, Surrogate: surrogate()}
 	for _, p := range points {
 		campaign.Jobs = append(campaign.Jobs, scalesim.CampaignJob{
 			Machine:    p.spec,
@@ -420,8 +451,12 @@ func cmdSweep(args []string) {
 			log.Fatal(o.Err)
 		}
 		c := o.Result.Cores[0]
-		fmt.Printf("  %s: IPC %6.3f  LLC MPKI %6.2f  DRAM util %.2f\n",
-			points[i].label, o.Result.AverageIPC(), c.LLCMPKI, o.Result.DRAMUtilization)
+		marker := ""
+		if o.Approximate {
+			marker = "  (approximate, from model)"
+		}
+		fmt.Printf("  %s: IPC %6.3f  LLC MPKI %6.2f  DRAM util %.2f%s\n",
+			points[i].label, o.Result.AverageIPC(), c.LLCMPKI, o.Result.DRAMUtilization, marker)
 	}
 	fmt.Printf("  campaign: %s\n", res.Stats)
 }

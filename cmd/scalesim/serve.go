@@ -31,9 +31,10 @@ func cmdServe(args []string) {
 	storeDir := fs.String("store", "", "durable result store directory, shareable between replicas")
 	retryAfter := fs.Int("retry-after", 1, "Retry-After seconds sent with 429 responses")
 	drainTimeout := fs.Duration("drain-timeout", 0, "bound on the graceful drain (0 waits for in-flight jobs)")
+	surrogate := surrogateFlags(fs)
 	_ = fs.Parse(args)
 
-	svc, err := scalesim.NewService(scalesim.ServiceConfig{Store: *storeDir})
+	svc, err := scalesim.NewService(scalesim.ServiceConfig{Store: *storeDir, Surrogate: surrogate()})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -113,7 +114,11 @@ func cmdRequest(args []string) {
 	if oc.Error != "" {
 		log.Fatalf("job failed: %s", oc.Error)
 	}
-	fmt.Printf("server: %s (%s)\n", oc.Source, out.Stats)
+	marker := ""
+	if oc.Approximate {
+		marker = ", approximate"
+	}
+	fmt.Printf("server: %s%s (%s)\n", oc.Source, marker, out.Stats)
 	printResult(oc.Result)
 }
 

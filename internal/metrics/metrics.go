@@ -118,6 +118,7 @@ type CampaignStats struct {
 	CacheHits     int // jobs served from the completed in-memory memo cache
 	CoalescedHits int // jobs deduplicated against an identical in-flight job
 	DiskHits      int // jobs served from the durable result store
+	ModelHits     int // jobs served (approximately) by the surrogate model
 	Retries       int // transient failures retried (panics and I/O errors)
 	PanicRetries  int // the panic subset of Retries
 	Failures      int // jobs that ended in an error
@@ -125,19 +126,22 @@ type CampaignStats struct {
 }
 
 // HitRate returns the fraction of jobs served without simulating — from the
-// in-memory cache, by coalescing onto an in-flight run, or from the durable
-// store.
+// in-memory cache, by coalescing onto an in-flight run, from the durable
+// store, or by the surrogate model.
 func (s CampaignStats) HitRate() float64 {
 	if s.Jobs == 0 {
 		return 0
 	}
-	return float64(s.CacheHits+s.CoalescedHits+s.DiskHits) / float64(s.Jobs)
+	return float64(s.CacheHits+s.CoalescedHits+s.DiskHits+s.ModelHits) / float64(s.Jobs)
 }
 
 // String renders the stats as a one-line report.
 func (s CampaignStats) String() string {
 	out := fmt.Sprintf("%d jobs: %d simulated, %d cached, %d coalesced, %d from store (%.0f%% hit rate), %d failed",
 		s.Jobs, s.UniqueRuns, s.CacheHits, s.CoalescedHits, s.DiskHits, 100*s.HitRate(), s.Failures)
+	if s.ModelHits > 0 {
+		out += fmt.Sprintf(", %d from model (approximate)", s.ModelHits)
+	}
 	if s.Retries > 0 {
 		out += fmt.Sprintf(", %d retried", s.Retries)
 	}

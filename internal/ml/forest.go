@@ -2,6 +2,8 @@ package ml
 
 import (
 	"fmt"
+	"io"
+	"math"
 
 	"scalesim/internal/xrand"
 )
@@ -80,15 +82,47 @@ func (f *RandomForest) Fit(X [][]float64, y []float64) error {
 
 // Predict implements Regressor: the ensemble mean.
 func (f *RandomForest) Predict(x []float64) float64 {
+	mean, _ := f.PredictStats(x)
+	return mean
+}
+
+// PredictStats returns the ensemble mean and the population standard
+// deviation of the individual tree predictions — the forest's native
+// uncertainty estimate. Trees that agree have seen this neighbourhood of
+// feature space in their bootstrap samples; wide disagreement flags an
+// extrapolation, which is what the surrogate tier's confidence gate keys
+// on.
+func (f *RandomForest) PredictStats(x []float64) (mean, std float64) {
 	if len(f.ensemble) == 0 {
 		panic("ml: RandomForest.Predict before Fit")
 	}
-	sum := 0.0
+	var sum, sumSq float64
 	for _, t := range f.ensemble {
-		sum += t.Predict(x)
+		p := t.Predict(x)
+		sum += p
+		sumSq += p * p
 	}
-	return sum / float64(len(f.ensemble))
+	n := float64(len(f.ensemble))
+	mean = sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 { // floating-point cancellation on near-identical trees
+		variance = 0
+	}
+	return mean, math.Sqrt(variance)
 }
 
 // Size returns the number of fitted trees.
 func (f *RandomForest) Size() int { return len(f.ensemble) }
+
+// WriteCanonical writes a canonical, process-stable encoding of the fitted
+// ensemble: every tree's structure in a fixed order and format. Two
+// forests trained on the same data with the same parameters produce
+// byte-identical encodings, which is how the surrogate tier fingerprints
+// (and regression-tests) trained models.
+func (f *RandomForest) WriteCanonical(w io.Writer) {
+	fmt.Fprintf(w, "rf|trees=%d|d=%d\n", len(f.ensemble), f.d)
+	for i, t := range f.ensemble {
+		fmt.Fprintf(w, "tree|%d\n", i)
+		t.WriteCanonical(w)
+	}
+}

@@ -10,9 +10,17 @@
 package ml
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrDimension reports a feature vector whose length does not match the
+// fitted state it is being applied to (a scaler or model trained on a
+// different feature layout). Callers at serving boundaries — notably the
+// surrogate tier — test with errors.Is and fall back to computing instead
+// of serving a mis-scaled prediction.
+var ErrDimension = errors.New("ml: feature dimension mismatch")
 
 // Regressor is a trainable single-output regression model.
 type Regressor interface {
@@ -94,13 +102,46 @@ func FitScaler(X [][]float64) (*Scaler, error) {
 	return s, nil
 }
 
-// Transform returns the standardised copy of x.
+// Transform returns the standardised copy of x. The vector must have
+// exactly the dimensionality the scaler was fitted on; a mismatch is a
+// programming error and panics with a diagnostic (previously it silently
+// mis-scaled a short vector or raised an index panic on a long one).
+// Serving boundaries that receive vectors of uncontrolled shape use
+// TransformChecked instead.
 func (s *Scaler) Transform(x []float64) []float64 {
+	out, err := s.TransformChecked(x)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
+}
+
+// TransformChecked is Transform with the shape check surfaced as a typed
+// error (wrapping ErrDimension) instead of a panic — the form serving
+// layers use, where a mismatched vector must reject cleanly and fall
+// through to ground truth.
+func (s *Scaler) TransformChecked(x []float64) ([]float64, error) {
+	if len(x) != len(s.Mean) {
+		return nil, fmt.Errorf("%w: vector has %d features, scaler fitted on %d", ErrDimension, len(x), len(s.Mean))
+	}
 	out := make([]float64, len(x))
 	for j, v := range x {
 		out[j] = (v - s.Mean[j]) / s.Scale[j]
 	}
-	return out
+	return out, nil
+}
+
+// Finite reports whether every element of x is a finite number. Fit
+// validates its inputs, but Predict implementations do not: a serving
+// layer must gate non-finite feature vectors itself (falling back to
+// computing) so a NaN can never propagate into a served prediction.
+func Finite(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // TransformAll standardises every row.
@@ -137,17 +178,35 @@ func MAE(pred, actual []float64) float64 {
 }
 
 // MAPE returns the mean absolute percentage error (the paper's error
-// metric, averaged): mean(|pred-actual| / |actual|).
+// metric, averaged): mean(|pred-actual| / |actual|), over the points whose
+// target is non-zero. A zero target has no defined percentage error; such
+// points are skipped rather than blanking the whole batch to NaN, so one
+// degenerate point cannot erase campaign-level error reporting. MAPE is
+// NaN only for empty/mismatched input or when every target is zero; use
+// MAPESkipZero to learn how many points were skipped.
 func MAPE(pred, actual []float64) float64 {
+	m, _ := MAPESkipZero(pred, actual)
+	return m
+}
+
+// MAPESkipZero is MAPE plus the count of zero-target points that were
+// excluded from the mean, for callers that report data quality alongside
+// the error figure.
+func MAPESkipZero(pred, actual []float64) (mape float64, skipped int) {
 	if len(pred) != len(actual) || len(pred) == 0 {
-		return math.NaN()
+		return math.NaN(), 0
 	}
-	sum := 0.0
+	sum, used := 0.0, 0
 	for i := range pred {
 		if actual[i] == 0 {
-			return math.NaN()
+			skipped++
+			continue
 		}
 		sum += math.Abs(pred[i]-actual[i]) / math.Abs(actual[i])
+		used++
 	}
-	return sum / float64(len(pred))
+	if used == 0 {
+		return math.NaN(), skipped
+	}
+	return sum / float64(used), skipped
 }

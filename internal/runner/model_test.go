@@ -1,0 +1,206 @@
+package runner
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"scalesim/internal/sim"
+)
+
+// fakePredictor scripts the learned tier: serve decides whether Predict
+// answers, and every Observe call is recorded.
+type fakePredictor struct {
+	mu       sync.Mutex
+	serve    bool
+	result   *sim.Result
+	predicts int
+	observed []*sim.Result
+}
+
+func (p *fakePredictor) Predict(job Job) (*sim.Result, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.predicts++
+	if !p.serve {
+		return nil, false
+	}
+	return p.result, true
+}
+
+func (p *fakePredictor) Observe(job Job, res *sim.Result) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.observed = append(p.observed, res)
+}
+
+func (p *fakePredictor) observeCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.observed)
+}
+
+// TestModelTierServes pins the third memoization tier: a confident
+// predictor answers instead of the simulator, the outcome is marked
+// approximate with SourceModel, and the hit is counted.
+func TestModelTierServes(t *testing.T) {
+	e, calls := countingEngine(1, 0)
+	approx := &sim.Result{ConfigName: "approx"}
+	p := &fakePredictor{serve: true, result: approx}
+	e.SetPredictor(p)
+
+	oc := e.Run(context.Background(), job(1))
+	if oc.Err != nil {
+		t.Fatal(oc.Err)
+	}
+	if oc.Source != SourceModel || !oc.CacheHit || !oc.Approximate {
+		t.Fatalf("outcome = %+v, want approximate SourceModel cache hit", oc)
+	}
+	if oc.Result != approx {
+		t.Fatalf("served result is not the predictor's: %+v", oc.Result)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("simulator ran %d times behind a confident model", calls.Load())
+	}
+	s := e.Stats()
+	if s.ModelHits != 1 || s.UniqueRuns != 0 || s.CacheHits != 0 {
+		t.Fatalf("stats %+v, want exactly 1 model hit", s)
+	}
+	if s.HitRate() != 1 {
+		t.Fatalf("HitRate = %v, want 1 (model hits count)", s.HitRate())
+	}
+	// A model-served result must NOT be fed back as ground truth.
+	if n := p.observeCount(); n != 0 {
+		t.Fatalf("predictor observed %d results for a model-served job, want 0", n)
+	}
+}
+
+// TestModelResultNotCached pins the ground-truth-only memory tier: a
+// model-served entry is evicted, so an identical later query re-predicts
+// (and reaches the simulator once the gate rejects) instead of reporting a
+// stale approximation as SourceMemory ground truth.
+func TestModelResultNotCached(t *testing.T) {
+	e, calls := countingEngine(1, 0)
+	p := &fakePredictor{serve: true, result: &sim.Result{ConfigName: "approx"}}
+	e.SetPredictor(p)
+
+	if oc := e.Run(context.Background(), job(1)); oc.Source != SourceModel {
+		t.Fatalf("first run source = %q, want model", oc.Source)
+	}
+	again := e.Run(context.Background(), job(1))
+	if again.Source != SourceModel || !again.Approximate {
+		t.Fatalf("second run = %+v, want a fresh model prediction (not a memory hit)", again)
+	}
+	if p.predicts != 2 {
+		t.Fatalf("Predict called %d times, want 2 (no caching of approximations)", p.predicts)
+	}
+
+	// Gate now rejects: the job must actually simulate, and the computed
+	// ground truth joins the training set and the memory cache.
+	p.serve = false
+	oc := e.Run(context.Background(), job(1))
+	if oc.Source != SourceCompute || oc.Approximate {
+		t.Fatalf("gate-rejected run = %+v, want exact compute", oc)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("simulator ran %d times, want 1", calls.Load())
+	}
+	if n := p.observeCount(); n != 1 {
+		t.Fatalf("computed result observed %d times, want 1 (active learning)", n)
+	}
+	if final := e.Run(context.Background(), job(1)); final.Source != SourceMemory || final.Approximate {
+		t.Fatalf("post-compute run = %+v, want ground-truth memory hit", final)
+	}
+}
+
+// TestModelGateRejectBitIdentical pins the acceptance criterion: with the
+// gate rejecting, an engine with a predictor produces the bit-identical
+// outcome of an engine without one.
+func TestModelGateRejectBitIdentical(t *testing.T) {
+	plain, _ := countingEngine(1, 0)
+	want := plain.Run(context.Background(), job(7))
+
+	gated, _ := countingEngine(1, 0)
+	gated.SetPredictor(&fakePredictor{serve: false})
+	got := gated.Run(context.Background(), job(7))
+
+	if got.Err != nil || want.Err != nil {
+		t.Fatalf("errs: %v / %v", got.Err, want.Err)
+	}
+	if !reflect.DeepEqual(got.Result, want.Result) {
+		t.Fatalf("gate-rejected result differs from surrogate-free run:\n got %+v\nwant %+v", got.Result, want.Result)
+	}
+	if got.Source != SourceCompute || got.Approximate {
+		t.Fatalf("gate-rejected outcome = %+v, want plain compute", got)
+	}
+}
+
+// TestModelTierOrder pins the lookup order memory → disk → model: results
+// already in ground-truth tiers are served exactly as before, without the
+// predictor ever being consulted; disk hits are observed for training.
+func TestModelTierOrder(t *testing.T) {
+	dir := t.TempDir()
+
+	// Populate the store with ground truth.
+	e1, _ := countingEngine(1, 0)
+	e1.SetStore(openStore(t, dir))
+	truth := e1.Run(context.Background(), job(5))
+	if truth.Source != SourceCompute {
+		t.Fatalf("seed run source = %q", truth.Source)
+	}
+
+	// Fresh engine with a confident (wrong) predictor AND the store: disk
+	// must win, and the model must not even be asked.
+	e2, _ := countingEngine(1, 0)
+	e2.SetStore(openStore(t, dir))
+	p := &fakePredictor{serve: true, result: &sim.Result{ConfigName: "wrong"}}
+	e2.SetPredictor(p)
+	oc := e2.Run(context.Background(), job(5))
+	if oc.Source != SourceDisk || oc.Approximate {
+		t.Fatalf("outcome = %+v, want exact disk hit", oc)
+	}
+	if !reflect.DeepEqual(oc.Result, truth.Result) {
+		t.Fatal("disk tier did not serve the stored ground truth")
+	}
+	if p.predicts != 0 {
+		t.Fatalf("predictor consulted %d times behind a disk hit, want 0", p.predicts)
+	}
+	if n := p.observeCount(); n != 1 {
+		t.Fatalf("disk hit observed %d times, want 1 (ground truth feeds training)", n)
+	}
+
+	// Memory tier: the disk hit populated the cache; the second query is a
+	// memory hit and again bypasses the model.
+	if again := e2.Run(context.Background(), job(5)); again.Source != SourceMemory || again.Approximate {
+		t.Fatalf("second run = %+v, want memory hit", again)
+	}
+	if p.predicts != 0 {
+		t.Fatal("predictor consulted on a memory hit")
+	}
+}
+
+// TestModelServedNotStored pins that approximations never reach the durable
+// store: after a model-served run, a store-only engine must recompute.
+func TestModelServedNotStored(t *testing.T) {
+	dir := t.TempDir()
+	e1, calls1 := countingEngine(1, 0)
+	e1.SetStore(openStore(t, dir))
+	e1.SetPredictor(&fakePredictor{serve: true, result: &sim.Result{ConfigName: "approx"}})
+	if oc := e1.Run(context.Background(), job(9)); oc.Source != SourceModel {
+		t.Fatalf("first run source = %q, want model", oc.Source)
+	}
+	if calls1.Load() != 0 {
+		t.Fatal("simulator ran behind a confident model")
+	}
+
+	e2, calls2 := countingEngine(1, 0)
+	e2.SetStore(openStore(t, dir))
+	oc := e2.Run(context.Background(), job(9))
+	if oc.Source != SourceCompute {
+		t.Fatalf("second engine source = %q, want compute (approximation must not be on disk)", oc.Source)
+	}
+	if calls2.Load() != 1 {
+		t.Fatalf("simulator ran %d times, want 1", calls2.Load())
+	}
+}

@@ -31,6 +31,14 @@
 // counted (CampaignStats.StoreCorrupt) and the job recomputed; store write
 // failures never fail the job, whose result is still served from memory.
 //
+// A third, learned tier sits between disk and compute when a Predictor is
+// attached (SetPredictor): a job that misses both ground-truth tiers is
+// offered to a surrogate model trained on accumulated results, which either
+// serves an approximate prediction (SourceModel, Outcome.Approximate) or
+// falls through to the simulator. Predictions never enter the memory cache
+// or the store — those tiers hold ground truth only — and every computed or
+// disk-loaded result is fed back to the predictor's training set.
+//
 // # Isolation and retry
 //
 // A panicking simulation does not kill the campaign: the panic is recovered
@@ -102,6 +110,9 @@ const (
 	SourceCoalesced Source = "coalesced"
 	// SourceDisk: loaded from the attached ResultStore.
 	SourceDisk Source = "disk"
+	// SourceModel: predicted by the attached surrogate Predictor instead of
+	// simulating — an approximate result (Outcome.Approximate is set).
+	SourceModel Source = "model"
 )
 
 // Outcome is one job's result within a batch: either a simulation result or
@@ -119,6 +130,10 @@ type Outcome struct {
 	// WallClock is the host time this job occupied a worker — near zero for
 	// cache hits, the simulation time (plus any in-flight wait) otherwise.
 	WallClock time.Duration
+	// Approximate marks a result predicted by the surrogate model
+	// (SourceModel, or SourceCoalesced onto a model-served flight) rather
+	// than simulated or loaded from ground truth.
+	Approximate bool
 }
 
 // ResultStore is the durable memoization tier (implemented by
@@ -131,6 +146,24 @@ type ResultStore interface {
 	Begin(key string) error
 	Save(key string, res *sim.Result) error
 	Fail(key string) error
+}
+
+// Predictor is the learned memoization tier (implemented by
+// internal/surrogate): a model trained on accumulated ground truth that
+// can answer some design-point queries without simulating. Predict returns
+// an approximate result and true when the model is confident enough to
+// serve the job, or false to fall through to compute — a rejected query is
+// indistinguishable from having no predictor at all. Observe feeds a
+// ground-truth result (computed or loaded from disk) back into the
+// training set; the predictor decides when to refit.
+//
+// Both methods are called outside the engine's lock and must be safe for
+// concurrent use. Predictions never enter the ground-truth tiers: the
+// engine neither caches a model-served result in memory nor writes it to
+// the ResultStore.
+type Predictor interface {
+	Predict(job Job) (*sim.Result, bool)
+	Observe(job Job, res *sim.Result)
 }
 
 // RetryPolicy bounds transient-failure retries. Attempt n (1-based) that
@@ -189,12 +222,16 @@ func Transient(err error) bool {
 	return false
 }
 
-// entry is one cache slot. done is closed when res/err are final.
+// entry is one cache slot. done is closed when res/err are final. approx
+// marks a model-predicted result; such entries are evicted before done
+// closes (the memory tier holds ground truth only), so approx is read only
+// by waiters that coalesced onto the flight.
 type entry struct {
 	done    chan struct{}
 	res     *sim.Result
 	err     error
 	retries int
+	approx  bool
 }
 
 // Engine executes jobs on a bounded worker pool with memoization. An Engine
@@ -202,11 +239,12 @@ type entry struct {
 // consecutive campaigns (e.g. successive figures of an experiment suite)
 // share their common design points.
 type Engine struct {
-	workers int
-	retry   RetryPolicy
-	run     RunFunc
-	store   ResultStore
-	sleep   func(context.Context, time.Duration) error
+	workers   int
+	retry     RetryPolicy
+	run       RunFunc
+	store     ResultStore
+	predictor Predictor
+	sleep     func(context.Context, time.Duration) error
 
 	mu      sync.Mutex
 	cache   map[string]*entry
@@ -264,6 +302,16 @@ func (e *Engine) SetStore(s ResultStore) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.store = s
+}
+
+// SetPredictor attaches (or, with nil, detaches) the learned memoization
+// tier. With a predictor attached the lookup order becomes memory → disk →
+// model → compute: a job that misses both ground-truth tiers is offered to
+// the predictor, and only a rejected (low-confidence) query simulates.
+func (e *Engine) SetPredictor(p Predictor) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.predictor = p
 }
 
 // SetRetry replaces the transient-failure retry policy for subsequent jobs.
@@ -363,9 +411,10 @@ func (r Report) String() string {
 }
 
 // Run executes one job through the memoization tiers: the in-memory cache,
-// then the durable store (if attached), then the simulator itself. The
-// returned Outcome carries the result or error plus its Source and retry
-// count. WallClock is left zero; RunBatch fills it.
+// then the durable store (if attached), then the surrogate model (if
+// attached), then the simulator itself. The returned Outcome carries the
+// result or error plus its Source and retry count. WallClock is left zero;
+// RunBatch fills it.
 func (e *Engine) Run(ctx context.Context, job Job) Outcome {
 	key := job.Key()
 	e.mu.Lock()
@@ -386,25 +435,38 @@ func (e *Engine) Run(ctx context.Context, job Job) Outcome {
 		e.mu.Unlock()
 		select {
 		case <-ent.done:
-			return Outcome{Result: ent.res, Err: ent.err, Source: SourceCoalesced, CacheHit: true, Retries: ent.retries}
+			return Outcome{Result: ent.res, Err: ent.err, Source: SourceCoalesced, CacheHit: true, Retries: ent.retries, Approximate: ent.approx}
 		case <-ctx.Done():
 			return Outcome{Err: ctx.Err(), Source: SourceCoalesced, CacheHit: true}
 		}
 	}
 	ent := &entry{done: make(chan struct{})}
 	e.cache[key] = ent
-	store := e.store
+	store, predictor := e.store, e.predictor
 	e.mu.Unlock()
 
 	src := SourceCompute
 	if store != nil {
 		if res, ok, lerr := store.Load(key); ok {
 			ent.res, src = res, SourceDisk
+			if predictor != nil {
+				// Disk hits are ground truth the model may not have seen
+				// (e.g. computed by an earlier process): feed them back.
+				predictor.Observe(job, res)
+			}
 		} else if lerr != nil {
 			// Quarantined by the store; recompute. Never fatal.
 			e.mu.Lock()
 			e.stats.StoreCorrupt++
 			e.mu.Unlock()
+		}
+	}
+	if src == SourceCompute && predictor != nil {
+		// The learned tier sits between disk and compute: serve the model's
+		// answer when its confidence gate passes, otherwise fall through to
+		// the simulator as if no predictor were attached.
+		if res, ok := predictor.Predict(job); ok {
+			ent.res, ent.approx, src = res, true, SourceModel
 		}
 	}
 	if src == SourceCompute {
@@ -420,12 +482,25 @@ func (e *Engine) Run(ctx context.Context, job Job) Outcome {
 				_ = store.Fail(key)
 			}
 		}
+		if ent.err == nil && predictor != nil {
+			// Active learning: every computed result joins the training
+			// set, so gate-rejected queries teach the model the region it
+			// was unsure about.
+			predictor.Observe(job, ent.res)
+		}
 	}
 
 	e.mu.Lock()
 	switch {
 	case ent.err == nil && src == SourceDisk:
 		e.stats.DiskHits++
+	case ent.err == nil && src == SourceModel:
+		e.stats.ModelHits++
+		// Approximations never enter the ground-truth memory tier: evict
+		// the entry so an identical later query re-predicts (the model may
+		// have learned since — or grown confident enough to stand aside).
+		// Waiters already coalesced onto this flight still read ent.
+		delete(e.cache, key)
 	case ent.err == nil:
 		e.stats.UniqueRuns++
 		e.simTime[job.Config.Name] += ent.res.WallClock
@@ -442,7 +517,7 @@ func (e *Engine) Run(ctx context.Context, job Job) Outcome {
 	}
 	e.mu.Unlock()
 	close(ent.done)
-	return Outcome{Result: ent.res, Err: ent.err, Source: src, CacheHit: src != SourceCompute, Retries: ent.retries}
+	return Outcome{Result: ent.res, Err: ent.err, Source: src, CacheHit: src != SourceCompute, Retries: ent.retries, Approximate: ent.approx}
 }
 
 // execute runs the job with panic isolation, retrying transient failures

@@ -90,11 +90,12 @@ func (s *Server) submitBatch(ctx context.Context, client string, jobs []scalesim
 // wireOutcome converts a public JobOutcome to its apiv1 form.
 func wireOutcome(i int, oc scalesim.JobOutcome) apiv1.JobOutcome {
 	out := apiv1.JobOutcome{
-		Job:      i,
-		Source:   string(oc.Source),
-		CacheHit: oc.CacheHit,
-		Retries:  oc.Retries,
-		Result:   oc.Result,
+		Job:         i,
+		Source:      string(oc.Source),
+		CacheHit:    oc.CacheHit,
+		Approximate: oc.Approximate,
+		Retries:     oc.Retries,
+		Result:      oc.Result,
 	}
 	if oc.Err != nil {
 		out.Error = oc.Err.Error()

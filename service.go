@@ -22,11 +22,19 @@ type ServiceConfig struct {
 	// Retry bounds transient-failure retries; the zero value selects the
 	// default policy.
 	Retry RetryPolicy
+	// Surrogate, when non-nil, enables the learned fast path for served
+	// jobs: the lookup order becomes memory → disk → model → compute, with
+	// confident predictions served approximately (SourceModel) and every
+	// ground-truth result feeding the training set. Nil — the default —
+	// changes nothing. When Store is also set, the training set persists
+	// in <Store>/surrogate and is shared with batch campaigns pointed at
+	// the same store. See SurrogateConfig.
+	Surrogate *SurrogateConfig
 }
 
 // Service is a long-lived handle on the campaign engine: one memoization
-// hierarchy (memory, optional durable store) that outlives any single
-// batch. `scalesim serve` runs every request through one Service, so
+// hierarchy (memory, optional durable store, optional surrogate model)
+// that outlives any single batch. `scalesim serve` runs every request through one Service, so
 // identical design points submitted by different clients — or by the same
 // client across requests — simulate exactly once. The zero value is not
 // usable; construct with NewService and Close when done.
@@ -51,6 +59,14 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		}
 		svc.st = st
 		eng.SetStore(st)
+	}
+	if cfg.Surrogate != nil {
+		if _, err := attachSurrogate(eng, cfg.Surrogate, cfg.Store); err != nil {
+			if svc.st != nil {
+				svc.st.Close()
+			}
+			return nil, err
+		}
 	}
 	return svc, nil
 }
@@ -82,8 +98,8 @@ func (s *Service) Prepare(job CampaignJob) (*PreparedJob, error) {
 }
 
 // RunJobContext executes one prepared job through the memoization
-// hierarchy — memory, durable store, then compute — and reports the
-// outcome. The outcome's Job index is zero; callers tracking batch
+// hierarchy — memory, durable store, surrogate model (when configured),
+// then compute — and reports the outcome. The outcome's Job index is zero; callers tracking batch
 // positions set it themselves.
 //
 // Cancelling ctx aborts an in-flight simulation at its next epoch
@@ -91,7 +107,7 @@ func (s *Service) Prepare(job CampaignJob) (*PreparedJob, error) {
 // reported as SourceCoalesced.
 func (s *Service) RunJobContext(ctx context.Context, p *PreparedJob) JobOutcome {
 	oc := s.eng.Run(ctx, p.job)
-	out := JobOutcome{Err: oc.Err, Source: ResultSource(oc.Source), CacheHit: oc.CacheHit, Retries: oc.Retries}
+	out := JobOutcome{Err: oc.Err, Source: ResultSource(oc.Source), CacheHit: oc.CacheHit, Retries: oc.Retries, Approximate: oc.Approximate}
 	if oc.Result != nil {
 		out.Result = resultFromInternal(oc.Result)
 	}

@@ -1,0 +1,140 @@
+package scalesim
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+)
+
+// surrogateSweep builds the e2e workload: a base DRAM-bandwidth grid that
+// trains the model, followed by midpoints the trained model should serve.
+// Returned alongside is the index where the midpoints start.
+func surrogateSweep() ([]CampaignJob, int) {
+	opts := FastOptions()
+	opts.Instructions = 60_000
+	opts.Warmup = 20_000
+	bench := BenchmarkNames()[:1]
+	grid := []float64{1, 2, 4, 8, 16}
+	mids := []float64{1.5, 3, 6, 12}
+	var jobs []CampaignJob
+	for _, gb := range append(append([]float64{}, grid...), mids...) {
+		jobs = append(jobs, CampaignJob{
+			Machine:    MachineSpec{Cores: 1, DRAMPerCoreGBps: gb},
+			Benchmarks: bench,
+			Options:    opts,
+		})
+	}
+	return jobs, len(grid)
+}
+
+// looseSurrogate serves everything once trained: the e2e tests exercise the
+// plumbing (sources, markers, stats, tier isolation), not gate calibration.
+func looseSurrogate(minTrain int) *SurrogateConfig {
+	return &SurrogateConfig{MinTrain: minTrain, VarGate: 1e9, DistGate: 1e9, RefitEvery: 1, Trees: 8}
+}
+
+// TestSurrogateCampaignEndToEnd drives the full stack: a sequential
+// campaign whose base grid computes (training the model) and whose
+// midpoints are then served approximately by the surrogate tier, visible in
+// outcomes and stats.
+func TestSurrogateCampaignEndToEnd(t *testing.T) {
+	jobs, base := surrogateSweep()
+	res, err := RunCampaignContext(context.Background(), Campaign{
+		Jobs:      jobs,
+		Workers:   1, // sequential: the base grid trains before the midpoints query
+		Surrogate: looseSurrogate(base),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, oc := range res.Outcomes {
+		if oc.Err != nil {
+			t.Fatalf("job %d: %v", i, oc.Err)
+		}
+		if i < base {
+			if oc.Source != SourceCompute || oc.Approximate {
+				t.Fatalf("base point %d = %q approx=%v, want exact compute", i, oc.Source, oc.Approximate)
+			}
+			continue
+		}
+		if oc.Source != SourceModel || !oc.Approximate || !oc.CacheHit {
+			t.Fatalf("midpoint %d = %q approx=%v, want approximate model hit", i, oc.Source, oc.Approximate)
+		}
+		if !(oc.Result.AverageIPC() > 0) {
+			t.Fatalf("midpoint %d served a non-physical IPC: %+v", i, oc.Result)
+		}
+	}
+	want := len(jobs) - base
+	if res.Stats.ModelHits != want {
+		t.Fatalf("ModelHits = %d, want %d; stats: %s", res.Stats.ModelHits, want, res.Stats)
+	}
+	if res.Stats.UniqueRuns != base {
+		t.Fatalf("UniqueRuns = %d, want %d", res.Stats.UniqueRuns, base)
+	}
+}
+
+// TestSurrogateOffByDefault pins the opt-in contract: without a
+// SurrogateConfig the campaign is bit-identical to one that has never heard
+// of the tier — every point computes, nothing is approximate.
+func TestSurrogateOffByDefault(t *testing.T) {
+	jobs, _ := surrogateSweep()
+	res, err := RunCampaignContext(context.Background(), Campaign{Jobs: jobs[:3], Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ModelHits != 0 {
+		t.Fatalf("ModelHits = %d without a surrogate config", res.Stats.ModelHits)
+	}
+	for i, oc := range res.Outcomes {
+		if oc.Approximate || oc.Source != SourceCompute {
+			t.Fatalf("job %d = %q approx=%v with the surrogate off", i, oc.Source, oc.Approximate)
+		}
+	}
+}
+
+// TestSurrogateModelResultsNeverPersist pins tier isolation end to end:
+// model-served midpoints must not enter the durable store, so a later
+// surrogate-free campaign on the same store computes them from scratch —
+// and its exact results match a store-less run bit for bit.
+func TestSurrogateModelResultsNeverPersist(t *testing.T) {
+	jobs, base := surrogateSweep()
+	storeDir := filepath.Join(t.TempDir(), "store")
+
+	first, err := RunCampaignContext(context.Background(), Campaign{
+		Jobs:      jobs,
+		Workers:   1,
+		Store:     storeDir,
+		Surrogate: looseSurrogate(base),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.ModelHits == 0 {
+		t.Fatal("setup: no model hits in the surrogate campaign")
+	}
+
+	// Same store, surrogate off: the base grid is ground truth on disk, the
+	// midpoints were only ever approximated and must compute now.
+	second, err := RunCampaignContext(context.Background(), Campaign{
+		Jobs:    jobs,
+		Workers: 1,
+		Store:   storeDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.DiskHits != base {
+		t.Fatalf("DiskHits = %d, want the %d ground-truth base points", second.Stats.DiskHits, base)
+	}
+	if got, want := second.Stats.UniqueRuns, len(jobs)-base; got != want {
+		t.Fatalf("UniqueRuns = %d, want %d (approximations must not be on disk)", got, want)
+	}
+	for i, oc := range second.Outcomes {
+		if oc.Err != nil {
+			t.Fatalf("job %d: %v", i, oc.Err)
+		}
+		if oc.Approximate {
+			t.Fatalf("job %d approximate in a surrogate-free campaign", i)
+		}
+	}
+}

@@ -28,11 +28,15 @@ func RepoConfig(root string) analysis.Config {
 			// order, coalescing) must be a pure function of request arrival
 			// order — no wall clock, no map-iteration order.
 			"internal/server",
+			// The surrogate tier's trained model must be a pure function of
+			// (training set, configuration): byte-identical fingerprints
+			// across processes require the same discipline.
+			"internal/surrogate",
 		},
 		KeyFile:    "internal/runner/key.go",
 		KeyRoots:   []string{"internal/runner.Job"},
 		UnitsDir:   "internal/units",
-		Goroutines: []string{"internal/runner", "internal/store", "internal/server"},
+		Goroutines: []string{"internal/runner", "internal/store", "internal/server", "internal/surrogate"},
 		// The root package must keep at least Simulate/SimulateParallel/
 		// RunCampaign as Context pairs, and the serving layer its
 		// ListenAndServe pair; a refactor that hides them from the analyzer
