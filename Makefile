@@ -1,7 +1,12 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build test check lint lint-baseline race bench bench-json clean clean-store store-smoke serve-smoke surrogate-smoke
+.PHONY: all build test check lint lint-fix lint-sarif lint-baseline race bench bench-json clean clean-store store-smoke serve-smoke surrogate-smoke
+
+# Lint outputs land at the repository root regardless of the directory make
+# was invoked from, so CI's artifact paths and local runs always agree.
+LINT_REPORT := $(CURDIR)/simlint-report.json
+LINT_SARIF := $(CURDIR)/simlint.sarif
 
 all: build
 
@@ -24,7 +29,7 @@ check: build
 		exit 1; \
 	fi
 	$(GO) vet ./...
-	$(GO) run ./tools/simlint -report simlint-report.json
+	$(GO) run ./tools/simlint -report $(LINT_REPORT) -sarif $(LINT_SARIF)
 	$(GO) test -race -short ./...
 	$(MAKE) store-smoke
 	$(MAKE) serve-smoke
@@ -79,12 +84,22 @@ serve-smoke:
 	@rm -rf .serve-smoke
 	@echo "serve-smoke: ok"
 
-# Static analysis over all eight simlint rules (see tools/simlint and
+# Static analysis over the full simlint rule set (see tools/simlint and
 # DESIGN.md, "Static analysis invariants"). Writes the machine-readable
-# report to simlint-report.json and exits non-zero on any finding that is
-# neither suppressed in-source nor listed in tools/simlint/baseline.json.
+# report to simlint-report.json and the SARIF form to simlint.sarif, and
+# exits non-zero on any finding that is neither suppressed in-source nor
+# listed in tools/simlint/baseline.json.
 lint:
-	$(GO) run ./tools/simlint -report simlint-report.json
+	$(GO) run ./tools/simlint -report $(LINT_REPORT) -sarif $(LINT_SARIF)
+
+# Apply every suggested fix, then re-lint: only what could not be fixed
+# automatically is reported.
+lint-fix:
+	$(GO) run ./tools/simlint -fix -report $(LINT_REPORT) -sarif $(LINT_SARIF)
+
+# SARIF only, for feeding GitHub code scanning by hand.
+lint-sarif:
+	$(GO) run ./tools/simlint -sarif $(LINT_SARIF)
 
 # Accept every current finding into the committed baseline. Use sparingly:
 # the baseline exists to land rule tightenings without blocking on legacy
@@ -112,3 +127,4 @@ clean:
 # with the conventional .scalesim-store directory.
 clean-store:
 	rm -rf .store-smoke .scalesim-store .surrogate-smoke.out
+	rm -f simlint-report.json simlint.sarif

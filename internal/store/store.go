@@ -364,6 +364,7 @@ func (s *Store) appendJournal(op, key string) error {
 	if s.journal == nil {
 		return fmt.Errorf("store: journal closed")
 	}
+	//simlint:ignore lockscope journal lines must be ordered exactly like the map mutations they record; the write is one small append on an O_APPEND fd, bounded, not network IO
 	if _, err := s.journal.Write([]byte(op + " " + key + "\n")); err != nil {
 		return fmt.Errorf("store: journal append: %w", err)
 	}

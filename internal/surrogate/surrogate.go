@@ -249,6 +249,7 @@ func (s *Surrogate) Observe(job runner.Job, res *sim.Result) {
 		return // deterministic simulation: the same key cannot teach twice
 	}
 	s.rows[rec.Key] = rec
+	//simlint:ignore lockscope the training-set journal must persist rows in exactly the order they enter s.rows or replay diverges; the append is small and bounded
 	s.persist(rec)
 	s.pending++
 	switch {

@@ -23,6 +23,27 @@ type Finding struct {
 	Pos  token.Position
 	Rule string
 	Msg  string
+	// Fix, when non-nil, is a machine-applicable remediation: `simlint -fix`
+	// applies the edits (see ApplyFixes). Fixes never change what a rule
+	// reports — they ride along on the finding.
+	Fix *Fix
+}
+
+// Fix is a suggested remediation: a set of source edits that resolve the
+// finding. Applying a fix must be idempotent — once applied, the rule no
+// longer fires, so a second run produces no further edits.
+type Fix struct {
+	// Message describes the remediation ("replace context.Background() with
+	// the ctx parameter").
+	Message string
+	Edits   []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with New. Positions are
+// token.Pos values from the module's shared FileSet.
+type TextEdit struct {
+	Pos, End token.Pos
+	New      string
 }
 
 // Analyzer is one repo-specific rule. Every analyzer implements exactly one
@@ -214,6 +235,23 @@ type Config struct {
 	// module-relative package directory, so a refactor that hides the pairs
 	// from the parser cannot silently void the apipair rule.
 	APIPairMin map[string]int
+	// ApproxSources name the taint sources of the approxflow rule — calls
+	// whose results are approximate (model-derived) values — as
+	// "<module-relative pkg dir>.<Type>.<Method>" (or "<dir>.<Func>" for a
+	// package-level function).
+	ApproxSources []string
+	// ApproxSinks name the ground-truth sinks approximate values must never
+	// reach, as "<dir>.<Type>.<Method>@<arg index>": the call's argument at
+	// that index is the guarded payload.
+	ApproxSinks []string
+	// ApproxCaches name map-typed struct fields that are ground-truth
+	// memoization tiers, as "<dir>.<Type>.<Field>": an index-assignment of
+	// an approximate value into such a field is a finding.
+	ApproxCaches []string
+	// Locks lists module-relative package directories where the lockscope
+	// rule enforces mutex hygiene (no blocking operation with a mutex held,
+	// no return path that leaks a lock).
+	Locks []string
 	// KnownRules lists every registered rule name for //simlint:ignore
 	// validation. When empty, the names of the analyzers actually run are
 	// used — set it when running a rule subset, so suppressions of inactive

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// FixResult summarizes one ApplyFixes run.
+type FixResult struct {
+	// Applied counts the fixes whose edits were written.
+	Applied int
+	// Skipped counts the fixes dropped because they overlapped an
+	// earlier-applied fix in the same file.
+	Skipped int
+	// Files lists the rewritten files (module-root relative), sorted.
+	Files []string
+}
+
+// ApplyFixes applies the suggested fix of every finding that carries one.
+// Each fix is atomic — all of its edits or none — and fixes within a file
+// are applied in position order, later offsets first, so earlier offsets
+// stay valid; a fix overlapping an already-accepted one is skipped (a
+// second run after the first rewrite picks it up if its finding survives).
+// Files are rewritten in place with their original permissions. Fixes are
+// idempotent by contract: once applied, the rule no longer fires, so
+// running -fix twice never edits twice.
+func ApplyFixes(m *Module, findings []Finding) (FixResult, error) {
+	var res FixResult
+
+	type span struct {
+		start, end int
+		new        string
+	}
+	type fileFixes struct {
+		abs   string
+		fixes [][]span // one inner slice per atomic fix
+	}
+	byFile := map[string]*fileFixes{} // keyed by module-relative path
+
+	for _, f := range findings {
+		if f.Fix == nil || len(f.Fix.Edits) == 0 {
+			continue
+		}
+		spans := make([]span, 0, len(f.Fix.Edits))
+		rel, abs := "", ""
+		ok := true
+		for _, e := range f.Fix.Edits {
+			p, q := m.Fset.Position(e.Pos), m.Fset.Position(e.End)
+			if p.Filename == "" || p.Filename != q.Filename || q.Offset < p.Offset {
+				ok = false
+				break
+			}
+			if abs == "" {
+				abs, rel = p.Filename, m.RelFile(p.Filename)
+			} else if p.Filename != abs {
+				ok = false // a fix never spans files
+				break
+			}
+			spans = append(spans, span{p.Offset, q.Offset, e.New})
+		}
+		if !ok {
+			res.Skipped++
+			continue
+		}
+		ff := byFile[rel]
+		if ff == nil {
+			ff = &fileFixes{abs: abs}
+			byFile[rel] = ff
+		}
+		ff.fixes = append(ff.fixes, spans)
+	}
+
+	rels := make([]string, 0, len(byFile))
+	for rel := range byFile {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+
+	for _, rel := range rels {
+		ff := byFile[rel]
+		src, err := os.ReadFile(ff.abs)
+		if err != nil {
+			return res, fmt.Errorf("simlint: fix %s: %w", rel, err)
+		}
+		info, err := os.Stat(ff.abs)
+		if err != nil {
+			return res, fmt.Errorf("simlint: fix %s: %w", rel, err)
+		}
+
+		// Accept fixes in ascending start order, dropping overlaps; then
+		// apply the accepted spans back-to-front.
+		sort.SliceStable(ff.fixes, func(i, j int) bool {
+			return ff.fixes[i][0].start < ff.fixes[j][0].start
+		})
+		var accepted []span
+		hi := -1
+		for _, fix := range ff.fixes {
+			sort.Slice(fix, func(i, j int) bool { return fix[i].start < fix[j].start })
+			conflict := fix[0].start < hi || fix[len(fix)-1].end > len(src)
+			for i := 1; i < len(fix) && !conflict; i++ {
+				conflict = fix[i].start < fix[i-1].end
+			}
+			if conflict {
+				res.Skipped++
+				continue
+			}
+			accepted = append(accepted, fix...)
+			hi = fix[len(fix)-1].end
+			res.Applied++
+		}
+		if len(accepted) == 0 {
+			continue
+		}
+		for i := len(accepted) - 1; i >= 0; i-- {
+			s := accepted[i]
+			src = append(src[:s.start], append([]byte(s.new), src[s.end:]...)...)
+		}
+		if err := os.WriteFile(ff.abs, src, info.Mode().Perm()); err != nil {
+			return res, fmt.Errorf("simlint: fix %s: %w", rel, err)
+		}
+		res.Files = append(res.Files, rel)
+	}
+	return res, nil
+}

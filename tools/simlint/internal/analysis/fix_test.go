@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestApplyFixesOverlap pins the conflict policy: of two fixes editing the
+// same range, the first (in finding order) wins, the second is skipped and
+// counted, and the surviving edit is applied exactly once.
+func TestApplyFixesOverlap(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod": "module demo\n\ngo 1.22\n",
+		"a.go":   "package demo\n\nconst A = 1\n",
+	})
+	m, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+
+	var lit *ast.BasicLit
+	ast.Inspect(m.Pkgs[0].Files[0], func(n ast.Node) bool {
+		if b, ok := n.(*ast.BasicLit); ok {
+			lit = b
+		}
+		return true
+	})
+	if lit == nil {
+		t.Fatal("no literal found in fixture")
+	}
+
+	mk := func(msg, repl string) Finding {
+		return Finding{
+			Pos:  m.Fset.Position(lit.Pos()),
+			Rule: "stub",
+			Msg:  msg,
+			Fix: &Fix{Message: msg, Edits: []TextEdit{
+				{Pos: lit.Pos(), End: lit.End(), New: repl},
+			}},
+		}
+	}
+	res, err := ApplyFixes(m, []Finding{mk("first", "2"), mk("second", "3")})
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if res.Applied != 1 || res.Skipped != 1 {
+		t.Errorf("applied %d, skipped %d; want 1 and 1", res.Applied, res.Skipped)
+	}
+	src, err := os.ReadFile(filepath.Join(root, "a.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "const A = 2") {
+		t.Errorf("file after fixes:\n%s\nwant the first fix's value 2", src)
+	}
+}
+
+// TestApplyFixesNoFixes is the no-op path: findings without fixes touch
+// nothing.
+func TestApplyFixesNoFixes(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod": "module demo\n\ngo 1.22\n",
+		"a.go":   "package demo\n\nconst A = 1\n",
+	})
+	m, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	before, _ := os.ReadFile(filepath.Join(root, "a.go"))
+	res, err := ApplyFixes(m, []Finding{{Rule: "stub", Msg: "no fix"}})
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if res.Applied != 0 || res.Skipped != 0 || len(res.Files) != 0 {
+		t.Errorf("no-fix run reported %+v, want zeroes", res)
+	}
+	after, _ := os.ReadFile(filepath.Join(root, "a.go"))
+	if string(before) != string(after) {
+		t.Error("file changed with no fixes to apply")
+	}
+}

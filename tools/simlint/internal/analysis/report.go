@@ -23,6 +23,10 @@ type ReportFinding struct {
 	Line int    `json:"line,omitempty"`
 	Rule string `json:"rule"`
 	Msg  string `json:"msg"`
+	// Fixable marks findings whose diagnostic carries a suggested fix that
+	// `simlint -fix` can apply. Never set in baseline files (it is not part
+	// of the match key).
+	Fixable bool `json:"fixable,omitempty"`
 }
 
 // Report is the machine-readable result of a lint run, written by
@@ -125,6 +129,7 @@ func toReportFindings(fs []Finding, withLine bool) []ReportFinding {
 		rf := ReportFinding{File: f.Pos.Filename, Rule: f.Rule, Msg: f.Msg}
 		if withLine {
 			rf.Line = f.Pos.Line
+			rf.Fixable = f.Fix != nil
 		}
 		out = append(out, rf)
 	}

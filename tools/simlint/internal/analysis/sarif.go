@@ -1,0 +1,111 @@
+// SARIF 2.1.0 output, the interchange format GitHub code scanning ingests.
+// Only the fields required by the spec (plus the few GitHub renders) are
+// emitted: version, $schema, one run with tool.driver.name and per-rule
+// metadata, and one result per finding with ruleId, level, message.text and
+// a physical location.
+package analysis
+
+import "path/filepath"
+
+// SARIFSchema is the canonical 2.1.0 schema URI.
+const SARIFSchema = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// SARIFLog is the document root.
+type SARIFLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SARIFRun `json:"runs"`
+}
+
+type SARIFRun struct {
+	Tool    SARIFTool     `json:"tool"`
+	Results []SARIFResult `json:"results"`
+}
+
+type SARIFTool struct {
+	Driver SARIFDriver `json:"driver"`
+}
+
+type SARIFDriver struct {
+	Name  string      `json:"name"`
+	Rules []SARIFRule `json:"rules,omitempty"`
+}
+
+type SARIFRule struct {
+	ID               string       `json:"id"`
+	ShortDescription SARIFMessage `json:"shortDescription"`
+}
+
+type SARIFMessage struct {
+	Text string `json:"text"`
+}
+
+type SARIFResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   SARIFMessage    `json:"message"`
+	Locations []SARIFLocation `json:"locations"`
+}
+
+type SARIFLocation struct {
+	PhysicalLocation SARIFPhysicalLocation `json:"physicalLocation"`
+}
+
+type SARIFPhysicalLocation struct {
+	ArtifactLocation SARIFArtifactLocation `json:"artifactLocation"`
+	Region           SARIFRegion           `json:"region"`
+}
+
+type SARIFArtifactLocation struct {
+	// URI is the module-root-relative path with forward slashes.
+	URI string `json:"uri"`
+}
+
+type SARIFRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// BuildSARIF renders a lint run as one SARIF run. New findings are level
+// "error" (they fail CI); baselined ones ride along as "note" so code
+// scanning shows the accepted debt without gating on it. Findings must
+// already be in render order — results keep it, so the document is
+// deterministic.
+func BuildSARIF(analyzers []Analyzer, newFindings, baselined []Finding) SARIFLog {
+	driver := SARIFDriver{Name: "simlint"}
+	for _, a := range analyzers {
+		driver.Rules = append(driver.Rules, SARIFRule{
+			ID:               a.Name(),
+			ShortDescription: SARIFMessage{Text: a.Doc()},
+		})
+	}
+	results := make([]SARIFResult, 0, len(newFindings)+len(baselined))
+	for _, f := range newFindings {
+		results = append(results, sarifResult(f, "error"))
+	}
+	for _, f := range baselined {
+		results = append(results, sarifResult(f, "note"))
+	}
+	return SARIFLog{
+		Schema:  SARIFSchema,
+		Version: "2.1.0",
+		Runs:    []SARIFRun{{Tool: SARIFTool{Driver: driver}, Results: results}},
+	}
+}
+
+func sarifResult(f Finding, level string) SARIFResult {
+	return SARIFResult{
+		RuleID:  f.Rule,
+		Level:   level,
+		Message: SARIFMessage{Text: f.Msg},
+		Locations: []SARIFLocation{{PhysicalLocation: SARIFPhysicalLocation{
+			ArtifactLocation: SARIFArtifactLocation{URI: filepath.ToSlash(f.Pos.Filename)},
+			Region:           SARIFRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+		}}},
+	}
+}
+
+// WriteSARIF writes the log as indented JSON, newline-terminated.
+func WriteSARIF(path string, log SARIFLog) error {
+	return writeJSON(path, log)
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"testing"
+)
+
+type stubAnalyzer struct{ name, doc string }
+
+func (a stubAnalyzer) Name() string { return a.name }
+func (a stubAnalyzer) Doc() string  { return a.doc }
+
+// TestSARIFRequiredFields validates the emitted document against the SARIF
+// 2.1.0 required-field set GitHub code scanning rejects uploads without:
+// version, $schema, runs[].tool.driver.name, and per result ruleId, level,
+// message.text and a physical location with artifact URI and start line.
+// The check goes through a generic unmarshal so a struct-tag typo cannot
+// hide from it.
+func TestSARIFRequiredFields(t *testing.T) {
+	finding := Finding{
+		Pos:  token.Position{Filename: "internal/runner/runner.go", Line: 42, Column: 7},
+		Rule: "approxflow",
+		Msg:  "approximate value flows into the store",
+	}
+	accepted := Finding{
+		Pos:  token.Position{Filename: "internal/store/store.go", Line: 9},
+		Rule: "lockscope",
+		Msg:  "mutex held across IO",
+	}
+	log := BuildSARIF(
+		[]Analyzer{stubAnalyzer{"approxflow", "no predictions in ground truth"}},
+		[]Finding{finding}, []Finding{accepted})
+
+	data, err := json.Marshal(log)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+
+	if v, _ := doc["version"].(string); v != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", v)
+	}
+	if s, _ := doc["$schema"].(string); s != SARIFSchema {
+		t.Errorf("$schema = %q, want %q", s, SARIFSchema)
+	}
+	runs, _ := doc["runs"].([]any)
+	if len(runs) != 1 {
+		t.Fatalf("runs has %d entries, want 1", len(runs))
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if name, _ := driver["name"].(string); name != "simlint" {
+		t.Errorf("tool.driver.name = %q, want simlint", name)
+	}
+	rules, _ := driver["rules"].([]any)
+	if len(rules) != 1 || rules[0].(map[string]any)["id"] != "approxflow" {
+		t.Errorf("driver.rules = %v, want one rule with id approxflow", rules)
+	}
+
+	results, _ := run["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("results has %d entries, want 2 (new + baselined)", len(results))
+	}
+	wantLevels := []string{"error", "note"}
+	for i, raw := range results {
+		r := raw.(map[string]any)
+		if r["ruleId"] == "" || r["ruleId"] == nil {
+			t.Errorf("results[%d] has no ruleId", i)
+		}
+		if lvl, _ := r["level"].(string); lvl != wantLevels[i] {
+			t.Errorf("results[%d].level = %q, want %q", i, lvl, wantLevels[i])
+		}
+		msg, _ := r["message"].(map[string]any)
+		if text, _ := msg["text"].(string); text == "" {
+			t.Errorf("results[%d].message.text is empty", i)
+		}
+		locs, _ := r["locations"].([]any)
+		if len(locs) != 1 {
+			t.Fatalf("results[%d] has %d locations, want 1", i, len(locs))
+		}
+		phys := locs[0].(map[string]any)["physicalLocation"].(map[string]any)
+		art := phys["artifactLocation"].(map[string]any)
+		if uri, _ := art["uri"].(string); uri == "" {
+			t.Errorf("results[%d] artifactLocation.uri is empty", i)
+		}
+		region := phys["region"].(map[string]any)
+		if line, _ := region["startLine"].(float64); line < 1 {
+			t.Errorf("results[%d] region.startLine = %v, want >= 1", i, region["startLine"])
+		}
+	}
+}

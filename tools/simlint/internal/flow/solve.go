@@ -1,0 +1,103 @@
+package flow
+
+import "go/ast"
+
+// Ops defines a forward dataflow problem over an analyzer-owned state type.
+// Join must be a monotone merge for the solver to terminate; Transfer may
+// mutate and return its argument (Solve clones before every block visit).
+type Ops[S any] struct {
+	Clone    func(S) S
+	Join     func(dst S, src S) (S, bool) // merge src into dst; report change
+	Transfer func(S, ast.Node) S
+}
+
+// Solve runs a forward worklist iteration to fixpoint and returns the state
+// at entry of every block. The entry block starts from init; everything
+// else starts from the zero state and accumulates through Join.
+func Solve[S any](g *Graph, init S, ops Ops[S]) map[*Block]S {
+	in := map[*Block]S{g.Entry: init}
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		out := ops.Clone(in[blk])
+		for _, n := range blk.Nodes {
+			out = ops.Transfer(out, n)
+		}
+		for _, succ := range blk.Succs {
+			cur, ok := in[succ]
+			if !ok {
+				in[succ] = ops.Clone(out)
+			} else {
+				merged, changed := ops.Join(cur, out)
+				in[succ] = merged
+				if !changed {
+					continue
+				}
+			}
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// Replay re-walks every reachable block from its solved entry state,
+// applying visit to each node with the state holding *before* the node
+// executes, then advancing the state with the same transfer. Analyzers emit
+// findings from visit; running it once after Solve keeps reports out of the
+// fixpoint iteration.
+func Replay[S any](g *Graph, in map[*Block]S, ops Ops[S], visit func(S, ast.Node)) {
+	for _, blk := range g.Blocks {
+		state, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		state = ops.Clone(state)
+		for _, n := range blk.Nodes {
+			visit(state, n)
+			state = ops.Transfer(state, n)
+		}
+	}
+}
+
+// ExitStates returns, for every edge into the exit block, the state after
+// the predecessor's last node together with that node (nil when the block
+// is empty). Rules that must check the fall-off-the-end path (a lock still
+// held when the function ends without a return) use this.
+func ExitStates[S any](g *Graph, in map[*Block]S, ops Ops[S]) []ExitState[S] {
+	var out []ExitState[S]
+	for _, blk := range g.Blocks {
+		if _, ok := in[blk]; !ok {
+			continue
+		}
+		intoExit := false
+		for _, s := range blk.Succs {
+			if s == g.Exit {
+				intoExit = true
+			}
+		}
+		if !intoExit {
+			continue
+		}
+		state := ops.Clone(in[blk])
+		var last ast.Node
+		for _, n := range blk.Nodes {
+			state = ops.Transfer(state, n)
+			last = n
+		}
+		out = append(out, ExitState[S]{State: state, Last: last})
+	}
+	return out
+}
+
+// ExitState is one predecessor-of-exit snapshot from ExitStates.
+type ExitState[S any] struct {
+	State S
+	Last  ast.Node
+}

@@ -1,0 +1,408 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Taint is a small bitset of value labels. Bit 0 (Source) marks values
+// derived from a rule-defined source; the remaining bits track which of the
+// enclosing function's parameters a value derives from, so a single pass
+// yields both direct findings and a reusable function summary ("the return
+// value carries parameter 2", "parameter 0 reaches a sink").
+type Taint uint64
+
+// Source labels a value derived from a taint source.
+const Source Taint = 1
+
+// ParamBit labels a value derived from the i-th parameter. Functions with
+// more than 62 parameters do not occur in this codebase; the overflow is
+// simply untracked.
+func ParamBit(i int) Taint {
+	if i < 0 || i >= 62 {
+		return 0
+	}
+	return 1 << (uint(i) + 1)
+}
+
+// Params extracts the parameter indices in a taint label.
+func (t Taint) Params() []int {
+	var out []int
+	for i := 0; i < 62; i++ {
+		if t&ParamBit(i) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TaintState maps canonical lvalue paths ("v<pos>", "v<pos>.field",
+// "v<pos>[]") to the labels of the value stored there. A plain assignment
+// is a strong update (it kills the old labels); element writes through an
+// index are weak (other elements survive).
+type TaintState map[string]Taint
+
+// TaintConfig parameterises one function's taint run.
+type TaintConfig struct {
+	Info *types.Info
+	// Params are the function's parameter name idents in declaration order
+	// (nil for unnamed parameters); parameter i is seeded with ParamBit(i).
+	Params []*ast.Ident
+	// Results are the named result idents, consulted by naked returns.
+	Results []*ast.Ident
+	// CallTaint returns the taint of a (non-conversion, non-builtin) call's
+	// results given the taint of each argument. Rules implement their
+	// source and summary lookup here. A nil CallTaint taints nothing.
+	CallTaint func(call *ast.CallExpr, args []Taint) Taint
+}
+
+// TaintVisitor receives reporting callbacks during the replay pass.
+// Either callback may be nil.
+type TaintVisitor struct {
+	// Call fires for every resolved call expression with the taint of each
+	// argument — sink checks live here.
+	Call func(call *ast.CallExpr, args []Taint)
+	// Assign fires for every single-value assignment with the taint of the
+	// assigned value — write-into-cache sinks live here.
+	Assign func(lhs, rhs ast.Expr, t Taint)
+}
+
+// RunTaint solves the taint problem over body and replays it once with the
+// visitor's callbacks. It returns the union of the labels of every returned
+// value — the function's summary-relevant result taint.
+func RunTaint(body *ast.BlockStmt, cfg TaintConfig, v TaintVisitor) Taint {
+	e := &taintEngine{cfg: cfg}
+	g := Build(body)
+
+	init := TaintState{}
+	for i, p := range cfg.Params {
+		if p == nil || p.Name == "_" {
+			continue
+		}
+		if path, ok := e.pathOf(p); ok {
+			init[path] |= ParamBit(i)
+		}
+	}
+
+	ops := Ops[TaintState]{
+		Clone: func(s TaintState) TaintState {
+			out := make(TaintState, len(s))
+			for k, t := range s {
+				out[k] = t
+			}
+			return out
+		},
+		Join: func(dst, src TaintState) (TaintState, bool) {
+			changed := false
+			for k, t := range src {
+				if dst[k]|t != dst[k] {
+					dst[k] |= t
+					changed = true
+				}
+			}
+			return dst, changed
+		},
+		Transfer: func(s TaintState, n ast.Node) TaintState {
+			e.transfer(s, n, TaintVisitor{})
+			return s
+		},
+	}
+	in := Solve(g, init, ops)
+	Replay(g, in, ops, func(s TaintState, n ast.Node) {
+		e.transfer(ops.Clone(s), n, v)
+	})
+	return e.result
+}
+
+type taintEngine struct {
+	cfg    TaintConfig
+	result Taint
+}
+
+// transfer interprets one CFG node against the state, firing the visitor's
+// callbacks where set.
+func (e *taintEngine) transfer(s TaintState, n ast.Node, v TaintVisitor) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		e.assignStmt(s, n, v)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				e.assignMany(s, identExprs(vs.Names), vs.Values, false, v)
+			}
+		}
+	case *ast.ExprStmt:
+		e.eval(s, n.X, v)
+	case *ast.SendStmt:
+		t := e.eval(s, n.Value, v)
+		e.eval(s, n.Chan, v)
+		// A send weakly taints the channel path, so a later receive from
+		// the same channel variable observes the labels.
+		if path, ok := e.pathOf(n.Chan); ok && t != 0 {
+			s[path] |= t
+		}
+	case *ast.ReturnStmt:
+		if len(n.Results) == 0 {
+			for _, r := range e.cfg.Results {
+				if r != nil && r.Name != "_" {
+					e.result |= e.eval(s, r, TaintVisitor{})
+				}
+			}
+		}
+		for _, r := range n.Results {
+			e.result |= e.eval(s, r, v)
+		}
+	case *ast.RangeStmt:
+		t := e.eval(s, n.X, v)
+		for _, lhs := range []ast.Expr{n.Key, n.Value} {
+			if lhs != nil {
+				e.assign(s, lhs, t, v)
+			}
+		}
+	case *ast.DeferStmt:
+		e.eval(s, n.Call, v)
+	case *ast.GoStmt:
+		e.eval(s, n.Call, v)
+	case *ast.IncDecStmt:
+		// Taint is unchanged by ++/--.
+	case *ast.SelectStmt:
+		// Marker node; the arms are their own CFG nodes.
+	case ast.Expr:
+		e.eval(s, n, v)
+	}
+}
+
+func identExprs(ids []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(ids))
+	for i, id := range ids {
+		out[i] = id
+	}
+	return out
+}
+
+func (e *taintEngine) assignStmt(s TaintState, n *ast.AssignStmt, v TaintVisitor) {
+	compound := n.Tok != token.ASSIGN && n.Tok != token.DEFINE
+	e.assignMany(s, n.Lhs, n.Rhs, compound, v)
+}
+
+// assignMany handles both pairwise assignment and the multi-value forms
+// (x, y := f() and var x, y = f()): with one RHS for several LHS, every LHS
+// receives the call's taint.
+func (e *taintEngine) assignMany(s TaintState, lhs, rhs []ast.Expr, compound bool, v TaintVisitor) {
+	if len(rhs) == 0 {
+		return
+	}
+	if len(rhs) == 1 && len(lhs) > 1 {
+		t := e.eval(s, rhs[0], v)
+		for _, l := range lhs {
+			e.assignReported(s, l, rhs[0], t, false, v)
+		}
+		return
+	}
+	for i, l := range lhs {
+		if i >= len(rhs) {
+			break
+		}
+		t := e.eval(s, rhs[i], v)
+		e.assignReported(s, l, rhs[i], t, compound, v)
+	}
+}
+
+func (e *taintEngine) assignReported(s TaintState, lhs, rhs ast.Expr, t Taint, compound bool, v TaintVisitor) {
+	if compound {
+		t |= e.eval(s, lhs, TaintVisitor{})
+	}
+	if v.Assign != nil {
+		v.Assign(lhs, rhs, t)
+	}
+	e.assign(s, lhs, t, v)
+}
+
+// assign performs the state update for lhs = value-with-taint-t. Index
+// writes are weak updates; everything else strongly kills the old labels of
+// the path and its children.
+func (e *taintEngine) assign(s TaintState, lhs ast.Expr, t Taint, v TaintVisitor) {
+	path, ok := e.pathOf(lhs)
+	if !ok {
+		// Still evaluate the lvalue's sub-expressions (an index expression
+		// may contain calls the visitor wants to see).
+		e.eval(s, lhs, v)
+		return
+	}
+	if strings.Contains(path, "[") {
+		if t != 0 {
+			s[path] |= t
+		}
+		return
+	}
+	for k := range s {
+		if k == path || strings.HasPrefix(k, path+".") || strings.HasPrefix(k, path+"[") {
+			delete(s, k)
+		}
+	}
+	if t != 0 {
+		s[path] = t
+	}
+}
+
+// eval computes the taint of an expression, firing the visitor on every
+// call it encounters. Function literals are opaque: a closure's body is its
+// own function.
+func (e *taintEngine) eval(s TaintState, expr ast.Expr, v TaintVisitor) Taint {
+	switch x := expr.(type) {
+	case nil:
+		return 0
+	case *ast.Ident:
+		if path, ok := e.pathOf(x); ok {
+			return e.taintAt(s, path)
+		}
+		return 0
+	case *ast.SelectorExpr:
+		if path, ok := e.pathOf(x); ok {
+			return e.taintAt(s, path)
+		}
+		// Method value or qualified non-var: taint of the receiver still
+		// flows (m.Method with tainted m).
+		return e.eval(s, x.X, v)
+	case *ast.ParenExpr:
+		return e.eval(s, x.X, v)
+	case *ast.StarExpr:
+		return e.eval(s, x.X, v)
+	case *ast.UnaryExpr:
+		return e.eval(s, x.X, v)
+	case *ast.BinaryExpr:
+		return e.eval(s, x.X, v) | e.eval(s, x.Y, v)
+	case *ast.IndexExpr:
+		t := e.eval(s, x.Index, v)
+		if path, ok := e.pathOf(x); ok {
+			return t | e.taintAt(s, path)
+		}
+		return t | e.eval(s, x.X, v)
+	case *ast.SliceExpr:
+		return e.eval(s, x.X, v)
+	case *ast.TypeAssertExpr:
+		return e.eval(s, x.X, v)
+	case *ast.CompositeLit:
+		var t Taint
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				t |= e.eval(s, kv.Value, v)
+				continue
+			}
+			t |= e.eval(s, elt, v)
+		}
+		return t
+	case *ast.CallExpr:
+		return e.evalCall(s, x, v)
+	case *ast.FuncLit:
+		return 0
+	default:
+		return 0
+	}
+}
+
+func (e *taintEngine) evalCall(s TaintState, call *ast.CallExpr, v TaintVisitor) Taint {
+	// A conversion propagates its operand's labels unchanged.
+	if tv, ok := e.cfg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return e.eval(s, call.Args[0], v)
+	}
+	args := make([]Taint, len(call.Args))
+	for i, a := range call.Args {
+		args[i] = e.eval(s, a, v)
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := e.cfg.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append", "copy", "min", "max":
+				var t Taint
+				for _, a := range args {
+					t |= a
+				}
+				return t
+			default:
+				return 0
+			}
+		}
+	}
+	if v.Call != nil {
+		v.Call(call, args)
+	}
+	if e.cfg.CallTaint != nil {
+		return e.cfg.CallTaint(call, args)
+	}
+	return 0
+}
+
+// taintAt unions the labels of a path, the paths it contains (a struct is
+// tainted when any of its fields is) and the paths containing it (a field
+// of a tainted struct is tainted).
+func (e *taintEngine) taintAt(s TaintState, path string) Taint {
+	var t Taint
+	for k, kt := range s {
+		if pathsRelated(k, path) {
+			t |= kt
+		}
+	}
+	return t
+}
+
+func pathsRelated(a, b string) bool {
+	if a == b {
+		return true
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	return strings.HasPrefix(b, a+".") || strings.HasPrefix(b, a+"[")
+}
+
+func (e *taintEngine) pathOf(expr ast.Expr) (string, bool) {
+	return PathOf(e.cfg.Info, expr)
+}
+
+// PathOf renders a canonical lvalue path for an expression, or reports that
+// the expression is not a trackable storage location. Variables key on
+// their declaration position, so shadowed names stay distinct; pointer
+// dereferences collapse onto the pointer's path (one level of aliasing);
+// all elements of an indexed container share one "[]" path.
+func PathOf(info *types.Info, expr ast.Expr) (string, bool) {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(x)
+		if vr, ok := obj.(*types.Var); ok && !vr.IsField() {
+			return fmt.Sprintf("v%d", vr.Pos()), true
+		}
+		return "", false
+	case *ast.SelectorExpr:
+		// A package-qualified variable keys on the variable itself.
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := info.ObjectOf(id).(*types.PkgName); isPkg {
+				if vr, ok := info.ObjectOf(x.Sel).(*types.Var); ok {
+					return fmt.Sprintf("v%d", vr.Pos()), true
+				}
+				return "", false
+			}
+		}
+		base, ok := PathOf(info, x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	case *ast.StarExpr:
+		return PathOf(info, x.X)
+	case *ast.IndexExpr:
+		base, ok := PathOf(info, x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "[]", true
+	}
+	return "", false
+}

@@ -1,0 +1,280 @@
+package rules
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"scalesim/tools/simlint/internal/analysis"
+	"scalesim/tools/simlint/internal/flow"
+)
+
+// approxflow statically enforces the surrogate tier's quarantine invariant:
+// a value that originates from the learned predictor (runner.Predictor's
+// Predict, the random forest's Predict/PredictStats) is "approximate" and
+// must never reach a ground-truth tier — the durable store's Save, the
+// engine's memory cache, or the training set's Observe. PR 7 established
+// the invariant dynamically (the engine evicts model-served entries and
+// never persists them); this rule makes the property hold by construction,
+// so the concurrent code that items 4–5 of the roadmap will add cannot
+// silently violate it.
+//
+// The analysis is an intraprocedural reaching-values taint over the flow
+// package's CFG, flow-sensitive with strong updates: a reassignment from
+// ground truth kills the taint (exactly the engine's
+// `ent.res = execute(...)` pattern), while a join of a tainted and a clean
+// branch stays tainted. Function summaries — "returns an approximate
+// value", "parameter N flows to a ground-truth sink" — propagate within a
+// package and ride the framework's fact mechanism across packages, so a
+// helper in one package cannot launder a prediction into another package's
+// store write.
+type approxflow struct {
+	sources []taintSpec
+	sinks   []taintSpec
+	caches  []taintSpec
+}
+
+func (approxflow) Name() string { return "approxflow" }
+func (approxflow) Doc() string {
+	return "model-predicted (approximate) values never reach the store, memory cache, or training set"
+}
+
+const approxFactKey = "taint-summaries"
+
+// approxSummary is one function's cross-call taint behavior.
+type approxSummary struct {
+	// Result carries flow.Source when the function may return an
+	// approximate value, plus the flow.ParamBit of every parameter that may
+	// flow into its return value.
+	Result flow.Taint
+	// SinkParams is a bitset of parameter indices that reach a ground-truth
+	// sink inside the function (bit i = parameter i).
+	SinkParams uint64
+}
+
+func (a approxflow) Run(pass *analysis.Pass) []analysis.Finding {
+	p := pass.Pkg
+	mod := pass.Module
+
+	// Summaries of everything callable from this package: imported facts
+	// first, then this package's own functions (computed to fixpoint below).
+	imported := map[string]approxSummary{} // "<pkg path>|<funcKey>"
+	for _, imp := range p.Pkg.Imports() {
+		if v, ok := pass.ImportFact(imp.Path(), approxFactKey); ok {
+			for k, s := range v.(map[string]approxSummary) {
+				imported[imp.Path()+"|"+k] = s
+			}
+		}
+	}
+
+	local := map[*types.Func]*approxSummary{}
+	lookup := func(fn *types.Func) (approxSummary, bool) {
+		if fn == nil || fn.Pkg() == nil {
+			return approxSummary{}, false
+		}
+		if fn.Pkg() == p.Pkg {
+			if s := local[fn]; s != nil {
+				return *s, true
+			}
+			return approxSummary{}, false
+		}
+		s, ok := imported[fn.Pkg().Path()+"|"+funcKey(fn)]
+		return s, ok
+	}
+
+	isSource := func(fn *types.Func) bool {
+		for _, spec := range a.sources {
+			if matchesSpec(mod.Path, spec, fn) {
+				return true
+			}
+		}
+		return false
+	}
+	sinkArg := func(fn *types.Func) (taintSpec, bool) {
+		for _, spec := range a.sinks {
+			if matchesSpec(mod.Path, spec, fn) {
+				return spec, true
+			}
+		}
+		return taintSpec{}, false
+	}
+
+	// callTaint maps argument labels through a callee: sources taint their
+	// results; summarized callees propagate their parameters' labels.
+	callTaint := func(call *ast.CallExpr, args []flow.Taint) flow.Taint {
+		fn := calleeOf(p.Info, call)
+		if fn == nil {
+			return 0
+		}
+		if isSource(fn) {
+			return flow.Source
+		}
+		sum, ok := lookup(fn)
+		if !ok {
+			return 0
+		}
+		t := sum.Result & flow.Source
+		for _, i := range sum.Result.Params() {
+			if i < len(args) {
+				t |= args[i] & flow.Source
+			}
+		}
+		return t
+	}
+
+	declObj := func(u funcUnit) *types.Func {
+		if u.decl == nil {
+			return nil
+		}
+		fn, _ := p.Info.Defs[u.decl.Name].(*types.Func)
+		return fn
+	}
+
+	// Phase 1: iterate per-function summaries to fixpoint. Sink-parameter
+	// bits are collected through the call visitor; result bits come from
+	// the engine's return-taint union. Monotone, so the loop terminates.
+	var units []funcUnit
+	for _, f := range p.Files {
+		units = append(units, funcUnits(f)...)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, u := range units {
+			fn := declObj(u)
+			var cur approxSummary
+			if fn != nil {
+				if s := local[fn]; s != nil {
+					cur = *s
+				}
+			}
+			next := cur
+			visit := flow.TaintVisitor{Call: func(call *ast.CallExpr, args []flow.Taint) {
+				callee := calleeOf(p.Info, call)
+				if callee == nil {
+					return
+				}
+				if spec, ok := sinkArg(callee); ok && spec.arg < len(args) {
+					for _, i := range args[spec.arg].Params() {
+						next.SinkParams |= 1 << uint(i)
+					}
+				}
+				if sum, ok := lookup(callee); ok {
+					for i := 0; i < 62; i++ {
+						if sum.SinkParams&(1<<uint(i)) == 0 || i >= len(args) {
+							continue
+						}
+						for _, j := range args[i].Params() {
+							next.SinkParams |= 1 << uint(j)
+						}
+					}
+				}
+			}}
+			ret := flow.RunTaint(u.body, flow.TaintConfig{
+				Info:      p.Info,
+				Params:    u.params,
+				Results:   u.results,
+				CallTaint: callTaint,
+			}, visit)
+			next.Result |= ret
+			if fn != nil && next != cur {
+				local[fn] = &next
+				changed = true
+			}
+		}
+	}
+
+	// Phase 2: replay every function once with the stable summaries and
+	// report sink hits.
+	var out []analysis.Finding
+	report := func(pos ast.Node, format string, args ...any) {
+		out = append(out, analysis.Finding{
+			Pos:  mod.Fset.Position(pos.Pos()),
+			Rule: a.Name(),
+			Msg:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, u := range units {
+		u := u
+		visit := flow.TaintVisitor{
+			Call: func(call *ast.CallExpr, args []flow.Taint) {
+				callee := calleeOf(p.Info, call)
+				if callee == nil {
+					return
+				}
+				if spec, ok := sinkArg(callee); ok && spec.arg < len(args) && args[spec.arg]&flow.Source != 0 {
+					report(call, "approximate value (derived from a model prediction) flows into ground-truth sink %s in %s; predictions must never reach the store, memory cache, or training set",
+						funcKey(callee), u.name)
+					return
+				}
+				if sum, ok := lookup(callee); ok {
+					for i := 0; i < 62 && i < len(args); i++ {
+						if sum.SinkParams&(1<<uint(i)) != 0 && args[i]&flow.Source != 0 {
+							report(call, "approximate value (derived from a model prediction) flows into %s, which passes argument %d to a ground-truth sink",
+								funcKey(callee), i)
+							return
+						}
+					}
+				}
+			},
+			Assign: func(lhs, rhs ast.Expr, t flow.Taint) {
+				if t&flow.Source == 0 {
+					return
+				}
+				if spec, ok := a.cacheField(p.Info, mod.Path, lhs); ok {
+					report(lhs, "approximate value (derived from a model prediction) is inserted into ground-truth cache %s.%s in %s; the memory tier holds ground truth only",
+						spec.typ, spec.name, u.name)
+				}
+			},
+		}
+		flow.RunTaint(u.body, flow.TaintConfig{
+			Info:      p.Info,
+			Params:    u.params,
+			Results:   u.results,
+			CallTaint: callTaint,
+		}, visit)
+	}
+
+	// Export the summaries of exported functions and methods for importing
+	// packages.
+	exported := map[string]approxSummary{}
+	for fn, sum := range local {
+		if fn.Exported() && (sum.Result&flow.Source != 0 || sum.SinkParams != 0 || sum.Result.Params() != nil) {
+			exported[funcKey(fn)] = *sum
+		}
+	}
+	pass.ExportFact(approxFactKey, exported)
+	return out
+}
+
+// cacheField reports whether lhs is an index-assignment into a struct
+// field registered as a ground-truth cache ("<dir>.<Type>.<Field>").
+func (a approxflow) cacheField(info *types.Info, modPath string, lhs ast.Expr) (taintSpec, bool) {
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return taintSpec{}, false
+	}
+	sel, ok := ast.Unparen(idx.X).(*ast.SelectorExpr)
+	if !ok {
+		return taintSpec{}, false
+	}
+	fieldObj, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !fieldObj.IsField() || fieldObj.Pkg() == nil {
+		return taintSpec{}, false
+	}
+	recv := info.TypeOf(sel.X)
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return taintSpec{}, false
+	}
+	for _, spec := range a.caches {
+		if spec.name == fieldObj.Name() &&
+			named.Obj().Name() == spec.typ &&
+			fieldObj.Pkg().Path() == pkgPathFor(modPath, spec.dir) {
+			return spec, true
+		}
+	}
+	return taintSpec{}, false
+}

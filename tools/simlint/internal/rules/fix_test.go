@@ -1,0 +1,107 @@
+package rules
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scalesim/tools/simlint/internal/analysis"
+)
+
+// copyTree copies the fixture module into a scratch directory so -fix can
+// rewrite files without dirtying testdata.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(out, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(out, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copy fixture: %v", err)
+	}
+}
+
+// TestFixIdempotent is the -fix contract test: every finding in the fix
+// fixture is fixable, one apply pass rewrites them all into the golden
+// form, the rewritten tree is lint-clean, and a second pass applies zero
+// further edits.
+func TestFixIdempotent(t *testing.T) {
+	tmp := t.TempDir()
+	copyTree(t, filepath.Join("testdata", "fixfixture"), tmp)
+
+	cfg := analysis.Config{Root: tmp}
+	active := []analysis.Analyzer{errwrap{}, ctxflow{}}
+
+	findings, mod, err := analysis.Run(cfg, active)
+	if err != nil {
+		t.Fatalf("analysis.Run: %v", err)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("fix fixture produced %d finding(s), want 3:\n%s", len(findings), analysis.Render(findings))
+	}
+	for _, f := range findings {
+		if f.Fix == nil {
+			t.Errorf("finding %s:%d [%s] carries no fix", f.Pos.Filename, f.Pos.Line, f.Rule)
+		}
+	}
+
+	res, err := analysis.ApplyFixes(mod, findings)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if res.Applied != 3 || res.Skipped != 0 {
+		t.Errorf("first pass applied %d, skipped %d; want 3 applied, 0 skipped", res.Applied, res.Skipped)
+	}
+	if len(res.Files) != 1 || res.Files[0] != "fx/fx.go" {
+		t.Errorf("rewritten files = %v, want [fx/fx.go]", res.Files)
+	}
+
+	fixed, err := os.ReadFile(filepath.Join(tmp, "fx", "fx.go"))
+	if err != nil {
+		t.Fatalf("read fixed file: %v", err)
+	}
+	goldenPath := filepath.Join("testdata", "fixfixture.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, fixed, 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if string(fixed) != string(want) {
+		t.Errorf("fixed file differs from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, fixed, want)
+	}
+
+	// Second pass: the rewritten tree must be clean, so -fix is idempotent.
+	again, mod2, err := analysis.Run(cfg, active)
+	if err != nil {
+		t.Fatalf("analysis.Run after fix: %v", err)
+	}
+	if len(again) != 0 {
+		t.Errorf("fixed tree is not lint-clean:\n%s", analysis.Render(again))
+	}
+	res2, err := analysis.ApplyFixes(mod2, again)
+	if err != nil {
+		t.Fatalf("second ApplyFixes: %v", err)
+	}
+	if res2.Applied != 0 || len(res2.Files) != 0 {
+		t.Errorf("second pass applied %d edit(s) to %v, want none", res2.Applied, res2.Files)
+	}
+}

@@ -1,0 +1,187 @@
+package rules
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"scalesim/tools/simlint/internal/analysis"
+)
+
+// taintSpec is one parsed endpoint of a flow rule: a function or method
+// identified by module-relative package directory, optional receiver type
+// name, and name — plus, for sinks, the index of the guarded argument.
+// The textual forms accepted by the Config are
+//
+//	<dir>.<Type>.<Method>      method (or interface method)
+//	<dir>.<Func>               package-level function
+//	...@<n>                    sink payload argument index
+//
+// where <dir> may contain slashes but no dots (true of every package in
+// this module and the fixtures).
+type taintSpec struct {
+	dir    string // module-relative package directory
+	typ    string // receiver type name; "" for package-level functions
+	name   string // function, method, or field name
+	arg    int    // sink payload argument index
+	source string // the spec as written, for messages
+}
+
+// parseTaintSpec parses the textual spec form. Malformed specs are
+// programmer errors in the lint policy, so they panic.
+func parseTaintSpec(s string) taintSpec {
+	spec := taintSpec{source: s, arg: -1}
+	body := s
+	if at := strings.LastIndex(body, "@"); at >= 0 {
+		n, err := strconv.Atoi(body[at+1:])
+		if err != nil {
+			panic(fmt.Sprintf("simlint: bad taint spec %q: %v", s, err))
+		}
+		spec.arg = n
+		body = body[:at]
+	}
+	dirEnd := strings.LastIndex(body, "/") + 1
+	parts := strings.Split(body[dirEnd:], ".")
+	switch len(parts) {
+	case 2:
+		spec.dir, spec.name = body[:dirEnd]+parts[0], parts[1]
+	case 3:
+		spec.dir, spec.typ, spec.name = body[:dirEnd]+parts[0], parts[1], parts[2]
+	default:
+		panic(fmt.Sprintf("simlint: bad taint spec %q: want <dir>.<Type>.<Name> or <dir>.<Func>", s))
+	}
+	return spec
+}
+
+func parseTaintSpecs(specs []string) []taintSpec {
+	out := make([]taintSpec, len(specs))
+	for i, s := range specs {
+		out[i] = parseTaintSpec(s)
+	}
+	return out
+}
+
+// pkgPathFor renders the import path of a module-relative directory.
+func pkgPathFor(modPath, dir string) string {
+	if dir == "" {
+		return modPath
+	}
+	return modPath + "/" + dir
+}
+
+// calleeOf resolves the called function or method of a call expression,
+// including interface methods. Returns nil for conversions, builtins,
+// function-typed values and literals.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// recvTypeName returns the name of a method's receiver type (struct or
+// interface, through a pointer), or "" for package-level functions.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// matchesSpec reports whether fn is the function or method a spec names,
+// with the spec's directory resolved against the module path.
+func matchesSpec(modPath string, spec taintSpec, fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != spec.name {
+		return false
+	}
+	if fn.Pkg().Path() != pkgPathFor(modPath, spec.dir) {
+		return false
+	}
+	return recvTypeName(fn) == spec.typ
+}
+
+// funcKey renders the summary-fact key of a function or method:
+// "Type.Method" or "Func", scoped by the exporting package.
+func funcKey(fn *types.Func) string {
+	if r := recvTypeName(fn); r != "" {
+		return r + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// funcUnit is one analyzable function body: a declared function or a
+// function literal (closures and goroutine bodies are their own units —
+// the taint engine never descends into a FuncLit).
+type funcUnit struct {
+	name    string // enclosing declaration name, for messages
+	decl    *ast.FuncDecl
+	lit     *ast.FuncLit // non-nil for literal units
+	body    *ast.BlockStmt
+	params  []*ast.Ident
+	results []*ast.Ident
+}
+
+// funcUnits collects every function body of a file in declaration order:
+// each FuncDecl, followed by every FuncLit it contains.
+func funcUnits(f *ast.File) []funcUnit {
+	var out []funcUnit
+	analysis.EnclosingFuncs(f, func(fd *ast.FuncDecl) {
+		out = append(out, funcUnit{
+			name:    fd.Name.Name,
+			decl:    fd,
+			body:    fd.Body,
+			params:  fieldIdents(fd.Type.Params),
+			results: fieldIdents(fd.Type.Results),
+		})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, funcUnit{
+					name:    fd.Name.Name,
+					lit:     lit,
+					body:    lit.Body,
+					params:  fieldIdents(lit.Type.Params),
+					results: fieldIdents(lit.Type.Results),
+				})
+			}
+			return true
+		})
+	})
+	return out
+}
+
+func fieldIdents(fl *ast.FieldList) []*ast.Ident {
+	if fl == nil {
+		return nil
+	}
+	var out []*ast.Ident
+	for _, field := range fl.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, n := range field.Names {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// isContextType reports whether t is exactly context.Context.
+func isContextType(t types.Type) bool {
+	return t != nil && types.TypeString(t, nil) == "context.Context"
+}

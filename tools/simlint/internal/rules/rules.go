@@ -42,6 +42,25 @@ func RepoConfig(root string) analysis.Config {
 		// ListenAndServe pair; a refactor that hides them from the analyzer
 		// would otherwise silently void the rule.
 		APIPairMin: map[string]int{"": 3, "internal/server": 1},
+		// The surrogate quarantine invariant (PR 7): anything the predictor
+		// returns is approximate and must never reach a ground-truth tier —
+		// the durable store, the engine's memory cache, or the training set
+		// (predictions fed back as observations would make the model eat its
+		// own output).
+		ApproxSources: []string{
+			"internal/runner.Predictor.Predict",
+			"internal/ml.RandomForest.Predict",
+			"internal/ml.RandomForest.PredictStats",
+		},
+		ApproxSinks: []string{
+			"internal/runner.ResultStore.Save@1",
+			"internal/store.Store.Save@1",
+			"internal/runner.Predictor.Observe@1",
+		},
+		ApproxCaches: []string{"internal/runner.Engine.cache"},
+		// Mutex hygiene in every package that mixes locks with channels, the
+		// journal, or the network.
+		Locks: []string{"internal/runner", "internal/store", "internal/server", "internal/surrogate"},
 	}
 	// Suppressions always validate against the full registry, even when the
 	// driver runs a rule subset.
@@ -59,6 +78,10 @@ func All(cfg analysis.Config) []analysis.Analyzer {
 	for _, d := range cfg.Goroutines {
 		goro[d] = true
 	}
+	locks := map[string]bool{}
+	for _, d := range cfg.Locks {
+		locks[d] = true
+	}
 	return []analysis.Analyzer{
 		maporder{det: det},
 		wallclock{det: det},
@@ -68,6 +91,13 @@ func All(cfg analysis.Config) []analysis.Analyzer {
 		errwrap{},
 		apipair{min: cfg.APIPairMin},
 		goroleak{pkgs: goro},
+		approxflow{
+			sources: parseTaintSpecs(cfg.ApproxSources),
+			sinks:   parseTaintSpecs(cfg.ApproxSinks),
+			caches:  parseTaintSpecs(cfg.ApproxCaches),
+		},
+		ctxflow{},
+		lockscope{pkgs: locks},
 	}
 }
 

@@ -26,6 +26,10 @@ func fixtureConfig() analysis.Config {
 		UnitsDir:      "uu",
 		Goroutines:    []string{"leak"},
 		APIPairMin:    map[string]int{"pair": 4},
+		ApproxSources: []string{"af.Predictor.Predict"},
+		ApproxSinks:   []string{"af.Store.Save@1"},
+		ApproxCaches:  []string{"af.Cache.cache"},
+		Locks:         []string{"lk"},
 	}
 }
 
@@ -103,6 +107,27 @@ func TestAnalyzerFindings(t *testing.T) {
 			"leak/leak.go:16", // Unjoined: not WaitGroup-joined
 			"leak/leak.go:38", // Opaque: unresolvable goroutine body
 		},
+		"approxflow": {
+			"af/af.go:28",   // Direct: prediction saved to the store
+			"af/af.go:47",   // Branch: prediction live on one arm of the join
+			"af/af.go:52",   // Memo: prediction inserted into the cache field
+			"af/af.go:68",   // ViaHelper: taint through a local summary
+			"af3/af3.go:13", // Indirect: cross-package sink-param summary
+			"af3/af3.go:20", // Imported: cross-package result summary
+		},
+		"ctxflow": {
+			"cf/cf.go:18",     // Fresh: Background despite a ctx parameter
+			"cf/cf.go:25",     // Derived: WithCancel does not launder a root
+			"cf/cf.go:37",     // Spawn: goroutine drops the caller's context
+			"pair/pair.go:22", // Drift: a re-implementing wrapper loses the exemption
+		},
+		"lockscope": {
+			"lk/lk.go:23", // HeldAcrossSend: channel send under the mutex
+			"lk/lk.go:32", // HeldAcrossIO: file write under a deferred unlock
+			"lk/lk.go:39", // LeakyReturn: early return leaks the lock
+			"lk/lk.go:62", // Blocks: default-less select under the mutex
+			"lk/lk.go:84", // ViaHelper: callee blocking summary
+		},
 	}
 	for rule, sites := range want {
 		if !reflect.DeepEqual(got[rule], sites) {
@@ -153,7 +178,7 @@ func TestOutputDeterministic(t *testing.T) {
 	}
 }
 
-// TestRepoClean lints the repository itself with all eight analyzers: HEAD
+// TestRepoClean lints the repository itself with the full registry: HEAD
 // must report zero unsuppressed findings, which is what wires the rule set
 // into make check.
 func TestRepoClean(t *testing.T) {

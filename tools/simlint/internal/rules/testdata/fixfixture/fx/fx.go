@@ -1,0 +1,32 @@
+// Package fx is the -fix fixture: every finding in it carries a suggested
+// fix, and applying the fixes once leaves the package lint-clean.
+package fx
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrBoom is the sentinel the comparisons below must match with errors.Is.
+var ErrBoom = errors.New("boom")
+
+// RunContext is the module-internal context-taking sink.
+func RunContext(ctx context.Context, n int) int {
+	<-ctx.Done()
+	return n
+}
+
+// Use drops its context for a fresh root and compares a sentinel with ==:
+// two fixable findings.
+func Use(ctx context.Context, err error, n int) (int, bool) {
+	v := RunContext(context.Background(), n)
+	return v, err == ErrBoom
+}
+
+// Negated compares a sentinel with !=: fixable.
+func Negated(err error) bool {
+	if err != ErrBoom {
+		return true
+	}
+	return false
+}

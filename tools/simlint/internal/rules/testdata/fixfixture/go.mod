@@ -1,0 +1,3 @@
+module fixfixture
+
+go 1.22

@@ -1,0 +1,69 @@
+// Package af exercises the approxflow rule: Predictor.Predict is the
+// configured taint source, Store.Save (argument 1) the ground-truth sink,
+// and Cache.cache the ground-truth memo tier.
+package af
+
+// Result stands in for a simulation result.
+type Result struct{ Cycles float64 }
+
+// Predictor is the model; its predictions are approximate.
+type Predictor struct{}
+
+func (Predictor) Predict(key string) Result { return Result{} }
+
+// Store is the durable ground-truth tier.
+type Store struct{}
+
+func (Store) Save(key string, r Result) {}
+
+// Cache is the in-memory ground-truth tier.
+type Cache struct{ cache map[string]Result }
+
+// execute produces ground truth.
+func execute(key string) Result { return Result{} }
+
+// Direct saves a prediction straight to the store: flagged.
+func Direct(p Predictor, st Store, key string) {
+	r := p.Predict(key)
+	st.Save(key, r)
+}
+
+// Killed is clean: the prediction is overwritten by ground truth before the
+// save — the engine's own hit-then-execute pattern, which only a
+// flow-sensitive analysis keeps quiet.
+func Killed(p Predictor, st Store, key string) {
+	r := p.Predict(key)
+	_ = r
+	r = execute(key)
+	st.Save(key, r)
+}
+
+// Branch leaves the prediction live on one arm: flagged at the join.
+func Branch(p Predictor, st Store, key string, hit bool) {
+	r := execute(key)
+	if hit {
+		r = p.Predict(key)
+	}
+	st.Save(key, r)
+}
+
+// Memo inserts a prediction into the ground-truth cache field: flagged.
+func Memo(p Predictor, c *Cache, key string) {
+	c.cache[key] = p.Predict(key)
+}
+
+// MemoClean memoizes ground truth: clean.
+func MemoClean(c *Cache, key string) {
+	c.cache[key] = execute(key)
+}
+
+// launder returns a prediction through a same-package helper; the summary
+// carries the taint to callers.
+func launder(p Predictor, key string) Result {
+	return p.Predict(key)
+}
+
+// ViaHelper saves a laundered prediction: flagged through the summary.
+func ViaHelper(p Predictor, st Store, key string) {
+	st.Save(key, launder(p, key))
+}

@@ -1,0 +1,17 @@
+// Package af2 exercises approxflow's exported summaries: its functions are
+// themselves clean, but their taint behavior must be visible to importers.
+package af2
+
+import "fixture/af"
+
+// Persist forwards its payload to the ground-truth store; the exported
+// summary records that argument 2 reaches a sink.
+func Persist(st af.Store, key string, r af.Result) {
+	st.Save(key, r)
+}
+
+// Recycle returns a model prediction; the exported summary records that the
+// result is approximate.
+func Recycle(p af.Predictor, key string) af.Result {
+	return p.Predict(key)
+}

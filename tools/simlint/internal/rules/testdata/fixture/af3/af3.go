@@ -1,0 +1,28 @@
+// Package af3 proves approxflow taint crosses package boundaries through
+// the facts exported by af2.
+package af3
+
+import (
+	"fixture/af"
+	"fixture/af2"
+)
+
+// Indirect passes a prediction to af2.Persist, which the summary says
+// forwards it to the store: flagged.
+func Indirect(p af.Predictor, st af.Store, key string) {
+	af2.Persist(st, key, p.Predict(key))
+}
+
+// Imported saves af2.Recycle's result, which the summary says is
+// approximate: flagged.
+func Imported(st af.Store, p af.Predictor, key string) {
+	r := af2.Recycle(p, key)
+	st.Save(key, r)
+}
+
+// Grounded is clean: the imported summary taints Recycle, not everything.
+func Grounded(st af.Store, p af.Predictor, key string) {
+	r := af2.Recycle(p, key)
+	_ = r
+	st.Save(key, af.Result{})
+}

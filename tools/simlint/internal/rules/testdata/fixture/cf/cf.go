@@ -1,0 +1,41 @@
+// Package cf exercises the ctxflow rule: fresh root contexts created
+// outside main must not flow into the module's context-taking calls.
+package cf
+
+import "context"
+
+// RunContext is a module-internal context-taking entry point (a sink).
+func RunContext(ctx context.Context, n int) int {
+	<-ctx.Done()
+	return n
+}
+
+// Run is the sanctioned X/XContext convenience wrapper: exempt.
+func Run(n int) int { return RunContext(context.Background(), n) }
+
+// Fresh ignores its own context parameter: flagged, with a fix.
+func Fresh(ctx context.Context, n int) int {
+	return RunContext(context.Background(), n)
+}
+
+// Derived proves deriving from a fresh root does not launder it: flagged.
+func Derived(ctx context.Context, n int) int {
+	c, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	return RunContext(c, n)
+}
+
+// Threaded passes the caller's context through: clean.
+func Threaded(ctx context.Context, n int) int {
+	return RunContext(ctx, n)
+}
+
+// Spawn's goroutine drops the caller's context for a fresh root: flagged.
+func Spawn(ctx context.Context, n int) {
+	done := make(chan struct{})
+	go func() {
+		RunContext(context.Background(), n)
+		close(done)
+	}()
+	<-done
+}

@@ -23,6 +23,14 @@
 //	goroleak    every go statement in internal/runner and internal/store
 //	            is WaitGroup-joined and spawned from a context-aware
 //	            function
+//	approxflow  flow-sensitive taint: model predictions (approximate
+//	            values) never reach the store, the memory cache, or the
+//	            training set
+//	ctxflow     flow-sensitive: fresh context.Background()/TODO() outside
+//	            main and the sanctioned X/XContext wrappers never flows
+//	            into the module's context-taking calls
+//	lockscope   flow-sensitive: no mutex held across a blocking operation,
+//	            no return path that leaks a lock
 //
 // Findings print as "file:line: [rule] message", sorted, and exit status 1.
 // A finding is suppressed by a trailing or preceding comment
@@ -34,6 +42,10 @@
 // (tools/simlint/baseline.json) are reported in the JSON report but do not
 // fail the run; `make lint-baseline` regenerates the baseline. See
 // DESIGN.md, "Static analysis invariants".
+//
+// Some findings carry a suggested fix; -fix applies them (atomically per
+// file, idempotently) and re-lints so only what remains is reported.
+// -sarif writes the run as SARIF 2.1.0 for GitHub code scanning.
 //
 // Usage:
 //
@@ -59,6 +71,8 @@ func main() {
 	goroutines := flag.String("goroutines", "", "comma-separated module-relative dirs where go statements must be joined (default: internal/runner,internal/store)")
 	ruleList := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	reportPath := flag.String("report", "", "write a JSON report (scalesim/simlint-report/v1) to this path")
+	sarifPath := flag.String("sarif", "", "write a SARIF 2.1.0 report to this path")
+	applyFix := flag.Bool("fix", false, "apply suggested fixes, then re-lint and report what remains")
 	baselinePath := flag.String("baseline", "", "baseline file of accepted findings (default: <root>/tools/simlint/baseline.json; missing file = empty baseline)")
 	writeBaseline := flag.Bool("write-baseline", false, "accept every current finding: rewrite the baseline file and exit 0")
 	flag.Parse()
@@ -124,6 +138,32 @@ func main() {
 		fatal(err)
 	}
 	newFindings, baselined := baseline.Split(findings)
+
+	if *applyFix {
+		res, err := analysis.ApplyFixes(mod, newFindings)
+		if err != nil {
+			fatal(err)
+		}
+		if res.Skipped > 0 {
+			fmt.Fprintf(os.Stderr, "simlint: %d overlapping fix(es) skipped; re-run -fix after this pass\n", res.Skipped)
+		}
+		if res.Applied > 0 {
+			fmt.Fprintf(os.Stderr, "simlint: applied %d fix(es) to %s\n", res.Applied, strings.Join(res.Files, ", "))
+			// Re-lint from the rewritten sources so the report and the exit
+			// status describe what is actually left.
+			findings, mod, err = analysis.Run(cfg, active)
+			if err != nil {
+				fatal(err)
+			}
+			newFindings, baselined = baseline.Split(findings)
+		}
+	}
+
+	if *sarifPath != "" {
+		if err := analysis.WriteSARIF(*sarifPath, analysis.BuildSARIF(active, newFindings, baselined)); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *reportPath != "" {
 		var names []string
