@@ -121,6 +121,55 @@ func TestApproximateMarkerOnWire(t *testing.T) {
 	}
 }
 
+// TestTuningOnWire pins the tuning wire contract: SimOptions.Tuning rides
+// as an optional "tuning" object, is omitted entirely when nil, and
+// payloads from clients predating the field decode unchanged under the
+// strict decoder.
+func TestTuningOnWire(t *testing.T) {
+	opts := scalesim.FastOptions()
+	opts.Tuning = &scalesim.Tuning{CoreWorkers: 4, EpochLogOps: 1024}
+	req := NewJobRequest("", []scalesim.CampaignJob{{
+		Machine:    scalesim.MachineSpec{Cores: 2, Policy: scalesim.PolicyPRS},
+		Benchmarks: []string{"mcf", "lbm"},
+		Options:    opts,
+	}})
+	var buf bytes.Buffer
+	if err := Encode(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.String()
+	if !strings.Contains(wire, `"tuning":{"core_workers":4,"epoch_log_ops":1024}`) {
+		t.Fatalf("tuning missing from the wire form: %s", wire)
+	}
+	got, err := DecodeJobRequest(strings.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, req) {
+		t.Fatalf("round trip changed the tuned request:\n got %+v\nwant %+v", got, req)
+	}
+
+	// Nil tuning never appears on the wire — old readers see old payloads.
+	buf.Reset()
+	if err := Encode(&buf, sampleRequest()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"tuning"`) {
+		t.Fatalf("nil tuning must be omitted from the wire form: %s", buf.String())
+	}
+
+	// A payload written before the field existed decodes under the strict
+	// decoder, with tuning staying nil (auto).
+	old := `{"schema":"` + Schema + `","jobs":[{"machine":{"Cores":1,"Policy":"","Bandwidth":"","LLCPerCoreKB":0,"DRAMPerCoreGBps":0,"NoCPerCoreGBps":0},"benchmarks":["mcf"],"options":{"Seed":42}}]}`
+	oldReq, err := DecodeJobRequest(strings.NewReader(old))
+	if err != nil {
+		t.Fatalf("pre-tuning payload must decode: %v", err)
+	}
+	if oldReq.Jobs[0].Options.Tuning != nil {
+		t.Fatalf("pre-tuning payload decoded a tuning: %+v", oldReq.Jobs[0].Options.Tuning)
+	}
+}
+
 func TestStatsAndHealthRoundTrip(t *testing.T) {
 	stats := &StatsResponse{
 		Schema:        Schema,

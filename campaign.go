@@ -29,7 +29,15 @@ type Campaign struct {
 	Jobs []CampaignJob
 	// Workers is the worker-pool size (<= 0 selects GOMAXPROCS). Results
 	// are bit-identical for any worker count — only wall-clock changes.
+	//
+	// Deprecated: set Tuning.CampaignWorkers instead. Workers remains as
+	// an alias; Tuning.CampaignWorkers takes precedence when both are set.
 	Workers int
+	// Tuning consolidates the campaign's performance knobs: job-level
+	// workers, per-simulation core workers, arena sizing. Nil means auto.
+	// A job's own Options.Tuning, when non-nil, overrides the campaign
+	// default for that job. Tuning never changes results or cache keys.
+	Tuning *Tuning
 	// OnProgress, when non-nil, is invoked serially after each job
 	// completes (successfully, from cache, or with an error).
 	OnProgress func(CampaignProgress)
@@ -191,7 +199,10 @@ func RunCampaign(c Campaign) (*CampaignResult, error) {
 // inside an open store is not — it is quarantined and its job recomputed
 // (counted in Stats.StoreCorrupt).
 func RunCampaignContext(ctx context.Context, c Campaign) (*CampaignResult, error) {
-	eng := runner.New(c.Workers)
+	if err := c.Tuning.Validate(); err != nil {
+		return nil, err
+	}
+	eng := runner.New(c.Tuning.campaignWorkers(c.Workers))
 	if c.Store != "" {
 		st, err := store.Open(c.Store)
 		if err != nil {
@@ -211,13 +222,24 @@ func RunCampaignContext(ctx context.Context, c Campaign) (*CampaignResult, error
 	jobs := make([]runner.Job, len(c.Jobs))
 	errs := make([]error, len(c.Jobs))
 	for i, cj := range c.Jobs {
+		if err := cj.Options.Tuning.Validate(); err != nil {
+			errs[i] = err
+			continue
+		}
 		cfg, wl, err := buildRun(cj.Machine, cj.Benchmarks, cj.Extra)
 		if err != nil {
 			// Invalid job: fails in its outcome without entering the batch.
 			errs[i] = err
 			continue
 		}
-		jobs[i] = runner.Job{Config: cfg, Workload: wl, Options: cj.Options.internal()}
+		io := cj.Options.internal()
+		if cj.Options.Tuning == nil {
+			// The campaign-level tuning is the default for jobs that carry
+			// none of their own.
+			io.CoreWorkers = c.Tuning.coreWorkers()
+			io.EpochLogOps = c.Tuning.epochLogOps()
+		}
+		jobs[i] = runner.Job{Config: cfg, Workload: wl, Options: io}
 	}
 	// Run only the valid jobs, preserving submission indices.
 	valid := make([]runner.Job, 0, len(jobs))

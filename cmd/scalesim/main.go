@@ -7,11 +7,17 @@
 //
 //	scalesim table1 [-bw MC-first|MB-first]
 //	scalesim suite
-//	scalesim simulate -machine <cores>[:<policy>] -bench <a,b,...> [-fast]
+//	scalesim simulate -machine <cores>[:<policy>] -bench <a,b,...> [-fast] [-core-workers N]
 //	scalesim predict -bench <name> [-fast]
 //	scalesim experiment -fig <id> [-fast]
-//	scalesim serve [-addr <host:port>] [-workers N] [-store <dir>]
+//	scalesim serve [-addr <host:port>] [-campaign-workers N] [-store <dir>]
 //	scalesim request -bench <a,b,...> [-server <url>]
+//
+// Performance flags follow a -<subsystem>-<knob> convention: -core-workers
+// (epoch parallelism inside one simulation), -campaign-workers (concurrent
+// jobs; -workers remains a deprecated alias), -surrogate-* (learned fast
+// path). None of them change results — only wall-clock. simulate and sweep
+// also take -cpuprofile/-memprofile to capture pprof profiles.
 //
 // Examples:
 //
@@ -81,15 +87,22 @@ func usage() {
                                             -store reuses results across invocations
   scalesim predict -bench NAME [-fast]      predict 32-core IPC from a 1-core scale model
   scalesim experiment -fig ID [-fast]       regenerate one figure (3..12, speedup)
-  scalesim sweep -knob llc|dram -bench NAME [-cores N] [-workers N] [-fast] [-store DIR]
+  scalesim sweep -knob llc|dram -bench NAME [-cores N] [-campaign-workers N] [-fast] [-store DIR]
                                             concurrent design-space sweep on a scale model
   scalesim stats -trace FILE                summarise a JSONL trace file
   scalesim store -dir DIR                   verify a durable campaign store (artifacts,
                                             checksums, interrupted jobs)
-  scalesim serve [-addr HOST:PORT] [-workers N] [-queue N] [-store DIR]
+  scalesim serve [-addr HOST:PORT] [-campaign-workers N] [-queue N] [-store DIR]
                                             run the campaign service: coalesces identical
                                             concurrent requests, bounds admission with a
                                             client-fair queue, drains on SIGINT/SIGTERM
+
+performance flags (identical results at any setting, wall-clock only):
+  -core-workers N       epoch workers inside one simulation (0 = auto)
+  -campaign-workers N   concurrent campaign jobs (0 = GOMAXPROCS); -workers
+                        is a deprecated alias
+  -cpuprofile FILE      write a pprof CPU profile (simulate, sweep)
+  -memprofile FILE      write a pprof heap profile at exit (simulate, sweep)
   scalesim request -bench A,B,... [-machine C[:POLICY]] [-server URL] [-client ID] [-fast]
                                             submit one design point to a running daemon`)
 }
@@ -181,6 +194,8 @@ func cmdSimulate(args []string) {
 	traceFile := fs.String("trace", "", "write the per-epoch telemetry trace to FILE as JSON Lines")
 	stats := fs.Bool("stats", false, "print the per-component trace summary after the run")
 	storeDir := fs.String("store", "", "durable result store directory: reuse results across invocations")
+	tuning := tuningFlags(fs, false)
+	profile := profileFlags(fs)
 	_ = fs.Parse(args)
 
 	wl, err := parseWorkload(*bench)
@@ -194,6 +209,8 @@ func cmdSimulate(args []string) {
 	m.Bandwidth = scalesim.Bandwidth(*bwOrder)
 	opts := options(*fast)
 	opts.Trace = *traceFile != "" || *stats
+	opts.Tuning = tuning()
+	defer profile()()
 
 	var res *scalesim.SimResult
 	if *storeDir != "" {
@@ -385,11 +402,13 @@ func cmdSweep(args []string) {
 	bench := fs.String("bench", "xalancbmk", "benchmark to sweep")
 	cores := fs.Int("cores", 1, "scale-model core count")
 	fast := fs.Bool("fast", true, "reduced fidelity")
-	workers := fs.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS)")
 	storeDir := fs.String("store", "", "durable result store directory: reuse results across invocations")
 	dense := fs.Bool("dense", false, "also sweep the knob-grid midpoints (appended after the base grid)")
 	surrogate := surrogateFlags(fs)
+	tuning := tuningFlags(fs, true)
+	profile := profileFlags(fs)
 	_ = fs.Parse(args)
+	defer profile()()
 
 	type point struct {
 		label string
@@ -432,7 +451,7 @@ func cmdSweep(args []string) {
 	for i := range wl {
 		wl[i] = *bench
 	}
-	campaign := scalesim.Campaign{Workers: *workers, Store: *storeDir, Surrogate: surrogate()}
+	campaign := scalesim.Campaign{Tuning: tuning(), Store: *storeDir, Surrogate: surrogate()}
 	for _, p := range points {
 		campaign.Jobs = append(campaign.Jobs, scalesim.CampaignJob{
 			Machine:    p.spec,

@@ -26,27 +26,35 @@ func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8023", "listen address (port 0 picks an ephemeral port)")
 	addrFile := fs.String("addrfile", "", "write the bound address to FILE once listening (for scripts using port 0)")
-	workers := fs.Int("workers", 0, "concurrent simulations (0 = one)")
 	queue := fs.Int("queue", server.DefaultQueueDepth, "admission queue depth; beyond it requests are shed with 429")
 	storeDir := fs.String("store", "", "durable result store directory, shareable between replicas")
 	retryAfter := fs.Int("retry-after", 1, "Retry-After seconds sent with 429 responses")
 	drainTimeout := fs.Duration("drain-timeout", 0, "bound on the graceful drain (0 waits for in-flight jobs)")
 	surrogate := surrogateFlags(fs)
+	tuning := tuningFlags(fs, true)
 	_ = fs.Parse(args)
 
-	svc, err := scalesim.NewService(scalesim.ServiceConfig{Store: *storeDir, Surrogate: surrogate()})
+	tun := tuning()
+	var workers int
+	if tun != nil {
+		// The server's simulation bound is the job-level knob; the rest of
+		// the tuning (the CoreWorkers default for served jobs) rides into
+		// the service.
+		workers = tun.CampaignWorkers
+	}
+	svc, err := scalesim.NewService(scalesim.ServiceConfig{Store: *storeDir, Surrogate: surrogate(), Tuning: tun})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer svc.Close()
 
 	cfg := server.Config{
-		Workers:       *workers,
+		Workers:       workers,
 		QueueDepth:    *queue,
 		RetryAfterSec: *retryAfter,
 		DrainTimeout:  *drainTimeout,
 		OnListen: func(a net.Addr) {
-			log.Printf("serving on %s (workers %d, queue %d)", a, *workers, *queue)
+			log.Printf("serving on %s (workers %d, queue %d)", a, workers, *queue)
 			if *addrFile != "" {
 				if err := os.WriteFile(*addrFile, []byte(a.String()), 0o644); err != nil {
 					log.Fatalf("writing -addrfile: %v", err)

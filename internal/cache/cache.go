@@ -72,16 +72,23 @@ type Level struct {
 	lineShift uint
 	setMask   uint64
 
-	// Way state, laid out set-major: index = set*assoc + way.
+	// Way state, laid out set-major: index = set*assoc + way. An invalid way
+	// holds invalidTag, so the hit loop is a single tag compare per way; the
+	// dirty flags are a packed bitset (see bitset.go).
 	tags  []uint64
-	valid []bool
-	dirty []bool
+	dirty bitset
 	stamp []uint32 // LRU timestamps (per-set lazy counter)
 
 	clock []uint32 // per-set stamp counter
 
 	Stats Stats
 }
+
+// invalidTag marks an empty way. A real line tag is addr >> lineShift, so the
+// all-ones value is only reachable from the topmost line of the 64-bit
+// address space — no workload generates it, and Fill/Access therefore never
+// need a separate valid flag on the hot path.
+const invalidTag = ^uint64(0)
 
 // NewLevel builds a cache level from cfg with its capacity divided by scale
 // (scale <= 1 means unscaled). Associativity and line size are preserved;
@@ -106,14 +113,17 @@ func NewLevel(cfg config.CacheLevelConfig, scale int) (*Level, error) {
 		shift++
 	}
 	n := sets * cfg.Assoc
+	tags := make([]uint64, n)
+	for i := range tags {
+		tags[i] = invalidTag
+	}
 	return &Level{
 		sets:      sets,
 		assoc:     cfg.Assoc,
 		lineShift: shift,
 		setMask:   uint64(sets - 1),
-		tags:      make([]uint64, n),
-		valid:     make([]bool, n),
-		dirty:     make([]bool, n),
+		tags:      tags,
+		dirty:     newBitset(n),
 		stamp:     make([]uint32, n),
 		clock:     make([]uint32, sets),
 	}, nil
@@ -150,11 +160,11 @@ func (l *Level) Access(addr uint64, write bool) bool {
 	}
 	for w := 0; w < l.assoc; w++ {
 		i := base + w
-		if l.valid[i] && l.tags[i] == line {
+		if l.tags[i] == line {
 			l.clock[set]++
 			l.stamp[i] = l.clock[set]
 			if write {
-				l.dirty[i] = true
+				l.dirty.set(i)
 			}
 			return true
 		}
@@ -171,7 +181,7 @@ func (l *Level) Probe(addr uint64) bool {
 	base := int(set) * l.assoc
 	for w := 0; w < l.assoc; w++ {
 		i := base + w
-		if l.valid[i] && l.tags[i] == line {
+		if l.tags[i] == line {
 			return true
 		}
 	}
@@ -191,7 +201,7 @@ func (l *Level) Fill(addr uint64, dirty bool) (victimAddr uint64, victimDirty, e
 	first := true
 	for w := 0; w < l.assoc; w++ {
 		i := base + w
-		if !l.valid[i] {
+		if l.tags[i] == invalidTag {
 			victim = i
 			evicted = false
 			break
@@ -204,18 +214,17 @@ func (l *Level) Fill(addr uint64, dirty bool) (victimAddr uint64, victimDirty, e
 			first = false
 		}
 	}
-	if l.valid[victim] {
+	if l.tags[victim] != invalidTag {
 		evicted = true
 		victimAddr = l.tags[victim] << l.lineShift
-		victimDirty = l.dirty[victim]
+		victimDirty = l.dirty.get(victim)
 		l.Stats.Evictions++
 		if victimDirty {
 			l.Stats.Writebacks++
 		}
 	}
 	l.tags[victim] = line
-	l.valid[victim] = true
-	l.dirty[victim] = dirty
+	l.dirty.assign(victim, dirty)
 	l.clock[set]++
 	l.stamp[victim] = l.clock[set]
 	return victimAddr, victimDirty, evicted
@@ -229,9 +238,9 @@ func (l *Level) Invalidate(addr uint64) (present, dirty bool) {
 	base := int(set) * l.assoc
 	for w := 0; w < l.assoc; w++ {
 		i := base + w
-		if l.valid[i] && l.tags[i] == line {
-			l.valid[i] = false
-			return true, l.dirty[i]
+		if l.tags[i] == line {
+			l.tags[i] = invalidTag
+			return true, l.dirty.get(i)
 		}
 	}
 	return false, false

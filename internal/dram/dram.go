@@ -103,6 +103,62 @@ func (m *Memory) Access(core int, addr uint64, bytes units.Bytes, write bool) un
 	return m.baseLatency + m.queueDelay(mc)
 }
 
+// Acc accumulates one core's DRAM traffic during an epoch of parallel
+// execution. Latencies read only the utilization and efficiency estimates
+// frozen at the last epoch boundary, so accounting demand thread-locally and
+// merging it at the barrier (in canonical core order) is exact: the Memory
+// sees the same per-controller sums it would have accumulated serially.
+type Acc struct {
+	epochBytes   []units.Bytes
+	epochStreams []uint64
+	coreBytes    units.Bytes
+	reads        uint64
+	writes       uint64
+}
+
+// NewAcc returns an accumulator shaped for this memory's controller count.
+func (m *Memory) NewAcc() *Acc {
+	return &Acc{
+		epochBytes:   make([]units.Bytes, m.mcs),
+		epochStreams: make([]uint64, m.mcs),
+	}
+}
+
+// AccessInto is Access with the demand accounted into a instead of the
+// shared Memory state; the returned latency is identical. The Memory itself
+// is only read, so concurrent callers with distinct accumulators are safe.
+func (m *Memory) AccessInto(a *Acc, core int, addr uint64, bytes units.Bytes, write bool) units.Cycles {
+	mc := m.MCOf(addr)
+	a.epochBytes[mc] += bytes
+	a.epochStreams[mc] |= 1 << (uint(core) % 64)
+	a.coreBytes += bytes
+	if write {
+		a.writes++
+		return 0
+	}
+	a.reads++
+	return m.baseLatency + m.queueDelay(mc)
+}
+
+// Merge folds a drained accumulator into the shared epoch and cumulative
+// counters, attributing its traffic to core, exactly as if it had been
+// accounted via Access.
+func (m *Memory) Merge(core int, a *Acc) {
+	for mc := range a.epochBytes {
+		m.epochBytes[mc] += a.epochBytes[mc]
+		m.epochStreams[mc] |= a.epochStreams[mc]
+		a.epochBytes[mc] = 0
+		a.epochStreams[mc] = 0
+	}
+	m.perCoreBytes[core] += a.coreBytes
+	m.TotalBytes += a.coreBytes
+	m.TotalReads += a.reads
+	m.TotalWrites += a.writes
+	a.coreBytes = 0
+	a.reads = 0
+	a.writes = 0
+}
+
 // queueDelay returns the M/D/1 waiting time at controller mc: the service
 // time of one 64-byte line scaled by rho/(2(1-rho)), with utilization capped
 // just below saturation. The CPI feedback loop (higher latency -> lower

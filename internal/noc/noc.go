@@ -133,6 +133,42 @@ func (m *Mesh) Latency(from, to int, bytes units.Bytes) units.Cycles {
 	return lat
 }
 
+// Acc accumulates one core's mesh traffic during an epoch of parallel
+// execution. Latencies read only the utilization frozen at the last epoch
+// boundary, so accounting traffic thread-locally and merging it at the
+// barrier (in canonical core order) is exact: the Mesh sees the same sums
+// it would have accumulated serially.
+type Acc struct {
+	messages       uint64
+	bytes          units.Bytes
+	bisectionBytes units.Bytes
+}
+
+// LatencyInto is Latency with the traffic accounted into a instead of the
+// shared Mesh state; the returned latency is identical. The Mesh itself is
+// only read, so concurrent callers with distinct accumulators are safe.
+func (m *Mesh) LatencyInto(a *Acc, from, to int, bytes units.Bytes) units.Cycles {
+	hops, crossing := m.Route(from, to)
+	a.messages++
+	a.bytes += bytes
+	lat := m.hopLatency.Scale(float64(hops))
+	if crossing {
+		a.bisectionBytes += bytes
+		lat += m.queueDelay()
+	}
+	return lat
+}
+
+// Merge folds a drained accumulator into the shared epoch and cumulative
+// counters, exactly as if its traffic had been accounted via Latency.
+func (m *Mesh) Merge(a *Acc) {
+	m.TotalMessages += a.messages
+	m.TotalBytes += a.bytes
+	m.epochBisectionBytes += a.bisectionBytes
+	m.TotalBisectionBytes += a.bisectionBytes
+	*a = Acc{}
+}
+
 // queueDelay is an M/D/1-style waiting time on a cross-section link:
 // W = s * rho / (2 * (1 - rho)), with s the service time of a 64-byte flit
 // group and rho the smoothed bisection utilization, capped below 1.

@@ -527,7 +527,22 @@ func (e *Engine) Run(ctx context.Context, job Job) Outcome {
 func (e *Engine) execute(ctx context.Context, job Job) (*sim.Result, error, int) {
 	e.mu.Lock()
 	run, pol, sleep := e.run, e.retry, e.sleep
+	workers := e.effectiveWorkers()
 	e.mu.Unlock()
+	// Split the host's parallelism budget between job-level and core-level
+	// workers: a job that left CoreWorkers at auto gets its share of
+	// GOMAXPROCS given the engine's pool size, so a wide campaign does not
+	// oversubscribe the host while a job-serial engine (workers=1) hands
+	// each simulation the whole machine. CoreWorkers is not part of the
+	// cache key — it cannot change results — so rewriting it here never
+	// changes which stored result the job maps to.
+	if job.Options.CoreWorkers == 0 {
+		split := runtime.GOMAXPROCS(0) / workers
+		if split < 1 {
+			split = 1
+		}
+		job.Options.CoreWorkers = split
+	}
 	if pol.MaxAttempts < 1 {
 		pol.MaxAttempts = 1
 	}

@@ -1,0 +1,392 @@
+package sim
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"scalesim/internal/cache"
+	"scalesim/internal/cpu"
+	"scalesim/internal/dram"
+	"scalesim/internal/noc"
+	"scalesim/internal/units"
+)
+
+// This file is the epoch execution engine: per-core memory-system contexts,
+// the fork/join worker pool, and the canonical-order barrier that makes
+// parallel execution byte-identical to serial execution.
+//
+// Within an epoch, NoC and DRAM latencies are pure functions (they read only
+// the utilization estimates frozen at the last epoch boundary), and cores
+// share mutable state only through the LLC. Each core therefore executes
+// against a thread-local view: private L1/L2 directly, LLC through a
+// copy-on-write overlay (cache.Overlay) with every operation appended to an
+// ordered log, and NoC/DRAM traffic into per-core accumulators. At the
+// barrier the logs are replayed against the real NUCA in canonical core
+// order (0, 1, 2, ...) and the accumulators merged the same way, so the
+// machine state entering the next epoch is a pure function of the inputs —
+// never of goroutine scheduling. See DESIGN.md, "Performance invariants".
+
+// llcOpKind tags one logged shared-LLC operation.
+type llcOpKind uint8
+
+const (
+	opRead llcOpKind = iota
+	opWrite
+	opFillClean
+	opFillDirty
+)
+
+// llcOp is one logged shared-LLC operation; 16 bytes, kept flat so the log
+// is a single reusable arena with no per-access allocation.
+type llcOp struct {
+	addr uint64
+	kind llcOpKind
+}
+
+// defaultEpochLogOps is the initial per-core LLC log capacity when
+// Options.EpochLogOps is zero. Logs grow on demand and keep their high-water
+// capacity across epochs.
+const defaultEpochLogOps = 4096
+
+// coreCtx implements cpu.MemSystem for one core. Private levels (L1-I,
+// L1-D, L2, prefetcher, partitioned-LLC slice) are mutated directly — no
+// other core touches them. The shared NUCA is reached through ov when the
+// machine actually shares it between cores; traffic lands in the thread
+// local accumulators either way.
+type coreCtx struct {
+	m    *machine
+	core int
+
+	// ov is the copy-on-write LLC view, nil when this machine's LLC is not
+	// shared between concurrently executing cores (single core, or the
+	// PartitionedLLC ablation); log records this core's shared-LLC
+	// operations for canonical replay.
+	ov  *cache.Overlay
+	log []llcOp
+
+	nocAcc  noc.Acc
+	dramAcc *dram.Acc
+}
+
+// beginEpoch rebases the overlay on the LLC state left by the last barrier.
+func (c *coreCtx) beginEpoch() {
+	if c.ov != nil {
+		c.ov.BeginEpoch()
+	}
+}
+
+// replay applies this core's logged LLC operations to the real NUCA. Access
+// replays literally (defining the canonical per-core LLC statistics); Fill
+// replays fill-if-absent, because an earlier core's replayed fill may
+// already have brought the line in. Replay victims generate no NoC/DRAM
+// traffic — that was accounted at execution time from the overlay's view.
+func (c *coreCtx) replay() {
+	m := c.m
+	for _, op := range c.log {
+		switch op.kind {
+		case opRead:
+			m.llc.Access(c.core, op.addr, false)
+		case opWrite:
+			m.llc.Access(c.core, op.addr, true)
+		default:
+			if !m.llc.Probe(op.addr) {
+				m.llc.Fill(c.core, op.addr, op.kind == opFillDirty)
+			}
+		}
+	}
+	c.log = c.log[:0]
+}
+
+// llcAccess routes an LLC lookup to the partition, the overlay, or the
+// shared NUCA directly, mirroring the serial semantics of each mode.
+func (c *coreCtx) llcAccess(addr uint64, write bool) (slice int, hit bool) {
+	m := c.m
+	if m.part != nil {
+		return c.core, m.part[c.core].Access(addr, write)
+	}
+	if c.ov != nil {
+		slice, hit = c.ov.Access(addr, write)
+		kind := opRead
+		if write {
+			kind = opWrite
+		}
+		c.log = append(c.log, llcOp{addr: addr, kind: kind})
+		return slice, hit
+	}
+	return m.llc.Access(c.core, addr, write)
+}
+
+// llcFill allocates addr after a miss, returning any victim from this
+// core's view.
+func (c *coreCtx) llcFill(addr uint64, dirty bool) (victimAddr uint64, victimDirty, evicted bool) {
+	m := c.m
+	if m.part != nil {
+		return m.part[c.core].Fill(addr, dirty)
+	}
+	if c.ov != nil {
+		victimAddr, victimDirty, evicted = c.ov.Fill(addr, dirty)
+		kind := opFillClean
+		if dirty {
+			kind = opFillDirty
+		}
+		c.log = append(c.log, llcOp{addr: addr, kind: kind})
+		return victimAddr, victimDirty, evicted
+	}
+	return m.llc.Fill(c.core, addr, dirty)
+}
+
+// llcProbe reports presence in this core's view without disturbing state.
+func (c *coreCtx) llcProbe(addr uint64) bool {
+	m := c.m
+	if m.part != nil {
+		return m.part[c.core].Probe(addr)
+	}
+	if c.ov != nil {
+		return c.ov.Probe(addr)
+	}
+	return m.llc.Probe(addr)
+}
+
+// prefetch issues the prefetcher's candidates for a demand L2 miss: each
+// candidate is brought into the L2 in the background, consuming LLC/DRAM
+// bandwidth but adding no latency to the triggering access.
+func (c *coreCtx) prefetch(addr uint64) {
+	m := c.m
+	if m.pf == nil {
+		return
+	}
+	for _, pa := range m.pf[c.core].OnMiss(addr) {
+		if m.l2[c.core].Probe(pa) {
+			continue
+		}
+		slice, hit := c.llcAccess(pa, false)
+		m.mesh.LatencyInto(&c.nocAcc, c.core, slice, reqBytes)
+		if !hit {
+			m.mesh.LatencyInto(&c.nocAcc, slice, m.mesh.MCTile(m.mem.MCOf(pa), m.mem.Controllers()), reqBytes)
+			m.mem.AccessInto(c.dramAcc, c.core, pa, lineBytes, false)
+			if victim, vdirty, evicted := c.llcFill(pa, false); evicted && vdirty {
+				m.mem.AccessInto(c.dramAcc, c.core, victim, lineBytes, true)
+			}
+		}
+		c.fillL2(pa, false)
+	}
+}
+
+// resolve serves a data access that missed in L1 at addr, filling the
+// hierarchy on its way back. It returns the total added latency beyond L1
+// and the serving level.
+func (c *coreCtx) resolve(addr uint64, dirtyFill bool) cpu.MemResult {
+	m := c.m
+	// L2 lookup.
+	if m.l2[c.core].Access(addr, false) {
+		c.fillL1(addr, dirtyFill)
+		return cpu.MemResult{Latency: m.l1Time + m.l2Time, Level: cpu.LevelL2}
+	}
+	// Demand L2 miss: train the prefetcher (if any) before going out.
+	c.prefetch(addr)
+	// LLC lookup via the NoC: core tile -> home slice tile.
+	slice, hit := c.llcAccess(addr, false)
+	nocLat := m.mesh.LatencyInto(&c.nocAcc, c.core, slice, reqBytes)
+	lat := m.l1Time + m.l2Time + m.llcTime + nocLat
+	if hit {
+		c.fillL2(addr, false)
+		c.fillL1(addr, dirtyFill)
+		return cpu.MemResult{Latency: lat, Level: cpu.LevelLLC}
+	}
+	// DRAM access: home slice tile -> memory controller tile.
+	mc := m.mem.MCOf(addr)
+	mcTile := m.mesh.MCTile(mc, m.mem.Controllers())
+	lat += m.mesh.LatencyInto(&c.nocAcc, slice, mcTile, reqBytes)
+	lat += m.mem.AccessInto(c.dramAcc, c.core, addr, lineBytes, false)
+	// Fill the hierarchy; LLC victims write back to DRAM.
+	if victim, vdirty, evicted := c.llcFill(addr, false); evicted && vdirty {
+		vmc := m.mem.MCOf(victim)
+		m.mesh.LatencyInto(&c.nocAcc, m.llcSliceOf(c.core, victim), m.mesh.MCTile(vmc, m.mem.Controllers()), reqBytes)
+		m.mem.AccessInto(c.dramAcc, c.core, victim, lineBytes, true)
+	}
+	c.fillL2(addr, false)
+	c.fillL1(addr, dirtyFill)
+	return cpu.MemResult{Latency: lat, Level: cpu.LevelDRAM}
+}
+
+// fillL1 allocates addr in this core's L1-D; dirty victims write through to
+// the L2.
+func (c *coreCtx) fillL1(addr uint64, dirty bool) {
+	victim, vdirty, evicted := c.m.l1d[c.core].Fill(addr, dirty)
+	if evicted && vdirty {
+		c.writebackToL2(victim)
+	}
+}
+
+// fillL2 allocates addr in this core's L2; dirty victims write to the LLC.
+func (c *coreCtx) fillL2(addr uint64, dirty bool) {
+	victim, vdirty, evicted := c.m.l2[c.core].Fill(addr, dirty)
+	if evicted && vdirty {
+		c.writebackToLLC(victim)
+	}
+}
+
+// writebackToL2 handles a dirty L1-D victim. Writebacks never allocate on a
+// miss (no-allocate policy): if the line is gone from the L2 it is forwarded
+// down the hierarchy. Allocating would recall evicted lines and amplify one
+// eviction into a cascade of fills.
+func (c *coreCtx) writebackToL2(addr uint64) {
+	if c.m.l2[c.core].Probe(addr) {
+		c.m.l2[c.core].Access(addr, true)
+		return
+	}
+	c.writebackToLLC(addr)
+}
+
+// writebackToLLC handles a dirty L2 victim: merge into the LLC if present,
+// otherwise bypass straight to DRAM (bandwidth only; writes are posted).
+func (c *coreCtx) writebackToLLC(addr uint64) {
+	m := c.m
+	slice := m.llcSliceOf(c.core, addr)
+	m.mesh.LatencyInto(&c.nocAcc, c.core, slice, reqBytes)
+	if c.llcProbe(addr) {
+		c.llcAccess(addr, true)
+		return
+	}
+	m.mesh.LatencyInto(&c.nocAcc, slice, m.mesh.MCTile(m.mem.MCOf(addr), m.mem.Controllers()), reqBytes)
+	m.mem.AccessInto(c.dramAcc, c.core, addr, lineBytes, true)
+}
+
+// Load implements cpu.MemSystem.
+func (c *coreCtx) Load(core int, addr uint64) cpu.MemResult {
+	if c.m.l1d[c.core].Access(addr, false) {
+		return cpu.MemResult{Latency: c.m.l1Time, Level: cpu.LevelL1}
+	}
+	return c.resolve(addr, false)
+}
+
+// Store implements cpu.MemSystem (write-allocate).
+func (c *coreCtx) Store(core int, addr uint64) cpu.MemResult {
+	if c.m.l1d[c.core].Access(addr, true) {
+		return cpu.MemResult{Latency: c.m.l1Time, Level: cpu.LevelL1}
+	}
+	return c.resolve(addr, true)
+}
+
+// IFetch implements cpu.MemSystem. Sequential fetches are covered by the
+// next-line prefetcher: they keep the hierarchy state warm and consume
+// bandwidth but never stall. Non-sequential fetches (jump targets) stall
+// the front end for their full latency beyond the pipelined L1-I access.
+func (c *coreCtx) IFetch(core int, addr uint64, jump bool) units.Cycles {
+	m := c.m
+	if m.l1i[c.core].Access(addr, false) {
+		return 0
+	}
+	// Instruction lines are clean; reuse the data path read logic against
+	// L2/LLC/DRAM but fill the L1-I instead of the L1-D.
+	if m.l2[c.core].Access(addr, false) {
+		m.l1i[c.core].Fill(addr, false)
+		if !jump {
+			return 0
+		}
+		return m.l2Time
+	}
+	slice, hit := c.llcAccess(addr, false)
+	nocLat := m.mesh.LatencyInto(&c.nocAcc, c.core, slice, reqBytes)
+	lat := m.l2Time + m.llcTime + nocLat
+	if !hit {
+		mc := m.mem.MCOf(addr)
+		lat += m.mesh.LatencyInto(&c.nocAcc, slice, m.mesh.MCTile(mc, m.mem.Controllers()), reqBytes)
+		lat += m.mem.AccessInto(c.dramAcc, c.core, addr, lineBytes, false)
+		if victim, vdirty, evicted := c.llcFill(addr, false); evicted && vdirty {
+			m.mem.AccessInto(c.dramAcc, c.core, victim, lineBytes, true)
+		}
+	}
+	c.fillL2(addr, false)
+	m.l1i[c.core].Fill(addr, false)
+	if !jump {
+		return 0 // hidden by the next-line prefetcher
+	}
+	return lat
+}
+
+// resolveWorkers maps the CoreWorkers option to an effective pool size:
+// 0 (auto) means one worker per core up to GOMAXPROCS; explicit values are
+// clamped to the core count. The result never affects simulation output,
+// only wall-clock time.
+func resolveWorkers(req, cores int) int {
+	if req <= 0 {
+		req = runtime.GOMAXPROCS(0)
+	}
+	if req > cores {
+		req = cores
+	}
+	if req < 1 {
+		req = 1
+	}
+	return req
+}
+
+// runEpoch advances every core by one epoch of at most cycles cycles, with
+// limits[i] bounding core i's cumulative retired instructions (pass
+// ^uint64(0) for no bound), then executes the deterministic barrier: LLC
+// log replay and accumulator merge in canonical core order. ctx aborts
+// between epochs only — one epoch of work is the cancellation granularity.
+func (m *machine) runEpoch(ctx context.Context, cycles units.Cycles, limits []uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if m.workers > 1 {
+		m.runCoresParallel(ctx, cycles, limits)
+	} else {
+		for i, c := range m.cores {
+			m.ctxs[i].beginEpoch()
+			c.Run(cycles, limits[i])
+		}
+	}
+	// Epoch barrier. Replay order — not execution order — defines the LLC
+	// state and statistics, so parallel and serial runs are byte-identical.
+	// The accumulator sums are integer-valued and far below 2^53, so the
+	// float64 merges are exact and the canonical order makes the result
+	// schedule-independent.
+	for i := range m.cores {
+		cc := m.ctxs[i]
+		cc.replay()
+		m.mesh.Merge(&cc.nocAcc)
+		m.mem.Merge(i, cc.dramAcc)
+	}
+	return nil
+}
+
+// runCoresParallel executes the epoch's per-core work on a bounded worker
+// pool. Cores are claimed from an atomic counter; each core's work is
+// independent given the frozen epoch-boundary state, so any schedule
+// produces the same logs and accumulators.
+func (m *machine) runCoresParallel(ctx context.Context, cycles units.Cycles, limits []uint64) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	n := m.workers
+	if n > len(m.cores) {
+		n = len(m.cores)
+	}
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(m.cores) {
+					return
+				}
+				m.ctxs[i].beginEpoch()
+				m.cores[i].Run(cycles, limits[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// noLimits fills limits with "unbounded" for the free-running phases.
+func noLimits(limits []uint64) []uint64 {
+	for i := range limits {
+		limits[i] = ^uint64(0)
+	}
+	return limits
+}

@@ -116,7 +116,7 @@ func RunParallelContext(ctx context.Context, cfg *config.SystemConfig, spec Para
 		if err != nil {
 			return nil, err
 		}
-		core, err := cpu.New(i, cfg.Core, gen, branch.NewTournament(), m)
+		core, err := cpu.New(i, cfg.Core, gen, branch.NewTournament(), m.ctxs[i])
 		if err != nil {
 			return nil, err
 		}
@@ -151,13 +151,13 @@ func RunParallelContext(ctx context.Context, cfg *config.SystemConfig, spec Para
 	}
 
 	// Warmup (no barriers), then reset statistics.
+	limits := noLimits(make([]uint64, threads))
 	for {
-		if err := ctx.Err(); err != nil {
+		if err := m.runEpoch(ctx, opts.EpochCycles, limits); err != nil {
 			return nil, err
 		}
 		allWarm := true
 		for _, c := range m.cores {
-			c.Run(opts.EpochCycles, ^uint64(0))
 			if c.Stats.Instructions < warmPerThread {
 				allWarm = false
 			}
@@ -186,18 +186,19 @@ func RunParallelContext(ctx context.Context, cfg *config.SystemConfig, spec Para
 		}
 	}
 	for {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+		// A finished thread gets a zero instruction bound, so its core runs
+		// no steps this epoch (Instructions is already >= 0).
+		for t := range m.cores {
+			limits[t] = 0
+			if !done[t] {
+				limits[t] = nextBarrier[t]
+				if limits[t] > work[t] {
+					limits[t] = work[t]
+				}
+			}
 		}
-		for t, c := range m.cores {
-			if done[t] {
-				continue
-			}
-			limit := nextBarrier[t]
-			if limit > work[t] {
-				limit = work[t]
-			}
-			c.Run(opts.EpochCycles, limit)
+		if err := m.runEpoch(ctx, opts.EpochCycles, limits); err != nil {
+			return nil, err
 		}
 		m.endEpoch(opts.EpochCycles)
 

@@ -70,6 +70,20 @@ type Options struct {
 	// change both isolated performance and bandwidth contention.
 	EnablePrefetch bool
 
+	// Tuning (performance-only; never part of the campaign cache key).
+	//
+	// CoreWorkers bounds the worker pool executing per-core epoch work in
+	// parallel; 0 means auto (one worker per core, up to GOMAXPROCS), 1
+	// forces serial execution. Parallel and serial runs are byte-identical
+	// by construction (DESIGN.md, "Performance invariants"), proven by the
+	// seed-matrix determinism test.
+	//simlint:ignore keydrift worker count is performance-only; parallel and serial epochs are byte-identical by canonical replay
+	CoreWorkers int
+	// EpochLogOps pre-sizes each core's shared-LLC operation log arena in
+	// entries; 0 means a reasonable default. Logs grow on demand either way.
+	//simlint:ignore keydrift arena pre-sizing is performance-only; logs grow on demand
+	EpochLogOps int
+
 	// Telemetry enables per-epoch observability when non-nil: every
 	// measured epoch (and warmup epoch when Telemetry.Warmup is set) is
 	// snapshotted into Result.Trace and streamed to Telemetry.Sink when one
@@ -172,7 +186,10 @@ type Result struct {
 	Trace []EpochSnapshot
 }
 
-// machine implements cpu.MemSystem over the simulated memory hierarchy.
+// machine is the simulated memory hierarchy plus its cores. Each core
+// reaches the hierarchy through its own coreCtx (see epoch.go), which
+// implements cpu.MemSystem with thread-local accounting so per-core epoch
+// work can execute in parallel.
 type machine struct {
 	cfg   *config.SystemConfig
 	l1i   []*cache.Level
@@ -182,6 +199,10 @@ type machine struct {
 	mesh  *noc.Mesh
 	mem   *dram.Memory
 	cores []*cpu.Core
+	ctxs  []*coreCtx
+
+	// workers is the resolved epoch worker-pool size (resolveWorkers).
+	workers int
 
 	// part, when non-nil, replaces the shared LLC with per-core private
 	// partitions (the PartitionedLLC ablation).
@@ -197,30 +218,6 @@ type machine struct {
 	l1Time, l2Time, llcTime units.Cycles
 }
 
-// prefetch issues the prefetcher's candidates for a demand L2 miss: each
-// candidate is brought into the L2 in the background, consuming LLC/DRAM
-// bandwidth but adding no latency to the triggering access.
-func (m *machine) prefetch(core int, addr uint64) {
-	if m.pf == nil {
-		return
-	}
-	for _, pa := range m.pf[core].OnMiss(addr) {
-		if m.l2[core].Probe(pa) {
-			continue
-		}
-		slice, hit := m.llcAccess(core, pa, false)
-		m.mesh.Latency(core, slice, reqBytes)
-		if !hit {
-			m.mesh.Latency(slice, m.mesh.MCTile(m.mem.MCOf(pa), m.mem.Controllers()), reqBytes)
-			m.mem.Access(core, pa, lineBytes, false)
-			if victim, vdirty, evicted := m.llcFill(core, pa, false); evicted && vdirty {
-				m.mem.Access(core, victim, lineBytes, true)
-			}
-		}
-		m.fillL2(core, pa, false)
-	}
-}
-
 // endEpoch refreshes the contention estimates unless feedback is ablated.
 func (m *machine) endEpoch(cycles units.Cycles) {
 	if m.noFeedback {
@@ -230,38 +227,14 @@ func (m *machine) endEpoch(cycles units.Cycles) {
 	m.mem.EndEpoch(cycles)
 }
 
-// llcAccess routes an LLC lookup to the shared NUCA or, under the
-// PartitionedLLC ablation, to the requester's private partition (home slice
-// = own tile, so the NoC path degenerates to zero hops).
-func (m *machine) llcAccess(core int, addr uint64, write bool) (slice int, hit bool) {
-	if m.part != nil {
-		return core, m.part[core].Access(addr, write)
-	}
-	return m.llc.Access(core, addr, write)
-}
-
-// llcFill allocates addr after a miss, returning any dirty victim.
-func (m *machine) llcFill(core int, addr uint64, dirty bool) (victimAddr uint64, victimDirty, evicted bool) {
-	if m.part != nil {
-		return m.part[core].Fill(addr, dirty)
-	}
-	return m.llc.Fill(core, addr, dirty)
-}
-
-// llcSliceOf returns the home tile for addr from core's perspective.
+// llcSliceOf returns the home tile for addr from core's perspective (under
+// the PartitionedLLC ablation the home slice is the requester's own tile,
+// so the NoC path degenerates to zero hops).
 func (m *machine) llcSliceOf(core int, addr uint64) int {
 	if m.part != nil {
 		return core
 	}
 	return m.llc.SliceOf(addr)
-}
-
-// llcProbe reports presence without disturbing state.
-func (m *machine) llcProbe(core int, addr uint64) bool {
-	if m.part != nil {
-		return m.part[core].Probe(addr)
-	}
-	return m.llc.Probe(addr)
 }
 
 // llcCoreMisses returns the demand misses attributed to core.
@@ -328,6 +301,15 @@ func newMachine(cfg *config.SystemConfig, wl Workload, opts Options) (*machine, 
 	if m.mem, err = dram.New(cfg.DRAM, cfg.Core.FrequencyGHz, cfg.Cores); err != nil {
 		return nil, err
 	}
+	// The shared NUCA needs copy-on-write overlays only when more than one
+	// core can touch it within an epoch; a single core or the partitioned
+	// ablation keeps the zero-overhead direct path.
+	sharedLLC := cfg.Cores > 1 && m.part == nil
+	logCap := opts.EpochLogOps
+	if logCap <= 0 {
+		logCap = defaultEpochLogOps
+	}
+	m.workers = resolveWorkers(opts.CoreWorkers, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
 		// The L1-I stays at native size: code footprints are not
 		// miniaturised (see trace.NewGenerator), so scaling the L1-I would
@@ -349,6 +331,13 @@ func newMachine(cfg *config.SystemConfig, wl Workload, opts Options) (*machine, 
 		m.l1d = append(m.l1d, l1d)
 		m.l2 = append(m.l2, l2)
 
+		cc := &coreCtx{m: m, core: i, dramAcc: m.mem.NewAcc()}
+		if sharedLLC {
+			cc.ov = cache.NewOverlay(m.llc)
+			cc.log = make([]llcOp, 0, logCap)
+		}
+		m.ctxs = append(m.ctxs, cc)
+
 		gen, err := trace.NewGenerator(wl.Profiles[i], trace.GenOptions{
 			Instance:      i,
 			CapacityScale: opts.CapacityScale,
@@ -357,142 +346,13 @@ func newMachine(cfg *config.SystemConfig, wl Workload, opts Options) (*machine, 
 		if err != nil {
 			return nil, err
 		}
-		core, err := cpu.New(i, cfg.Core, gen, branch.NewTournament(), m)
+		core, err := cpu.New(i, cfg.Core, gen, branch.NewTournament(), cc)
 		if err != nil {
 			return nil, err
 		}
 		m.cores = append(m.cores, core)
 	}
 	return m, nil
-}
-
-// resolve serves a data access that missed in l1 for core at addr, filling
-// the hierarchy on its way back. It returns the total added latency beyond
-// L1 and the serving level.
-func (m *machine) resolve(core int, addr uint64, dirtyFill bool) cpu.MemResult {
-	// L2 lookup.
-	if m.l2[core].Access(addr, false) {
-		m.fillL1(core, addr, dirtyFill)
-		return cpu.MemResult{Latency: m.l1Time + m.l2Time, Level: cpu.LevelL2}
-	}
-	// Demand L2 miss: train the prefetcher (if any) before going out.
-	m.prefetch(core, addr)
-	// LLC lookup via the NoC: core tile -> home slice tile.
-	slice, hit := m.llcAccess(core, addr, false)
-	nocLat := m.mesh.Latency(core, slice, reqBytes)
-	lat := m.l1Time + m.l2Time + m.llcTime + nocLat
-	if hit {
-		m.fillL2(core, addr, false)
-		m.fillL1(core, addr, dirtyFill)
-		return cpu.MemResult{Latency: lat, Level: cpu.LevelLLC}
-	}
-	// DRAM access: home slice tile -> memory controller tile.
-	mc := m.mem.MCOf(addr)
-	mcTile := m.mesh.MCTile(mc, m.mem.Controllers())
-	lat += m.mesh.Latency(slice, mcTile, reqBytes)
-	lat += m.mem.Access(core, addr, lineBytes, false)
-	// Fill the hierarchy; LLC victims write back to DRAM.
-	if victim, vdirty, evicted := m.llcFill(core, addr, false); evicted && vdirty {
-		vmc := m.mem.MCOf(victim)
-		m.mesh.Latency(m.llcSliceOf(core, victim), m.mesh.MCTile(vmc, m.mem.Controllers()), reqBytes)
-		m.mem.Access(core, victim, lineBytes, true)
-	}
-	m.fillL2(core, addr, false)
-	m.fillL1(core, addr, dirtyFill)
-	return cpu.MemResult{Latency: lat, Level: cpu.LevelDRAM}
-}
-
-// fillL1 allocates addr in core's L1-D; dirty victims write through to L2.
-func (m *machine) fillL1(core int, addr uint64, dirty bool) {
-	victim, vdirty, evicted := m.l1d[core].Fill(addr, dirty)
-	if evicted && vdirty {
-		m.writebackToL2(core, victim)
-	}
-}
-
-// fillL2 allocates addr in core's L2; dirty victims write to the LLC.
-func (m *machine) fillL2(core int, addr uint64, dirty bool) {
-	victim, vdirty, evicted := m.l2[core].Fill(addr, dirty)
-	if evicted && vdirty {
-		m.writebackToLLC(core, victim)
-	}
-}
-
-// writebackToL2 handles a dirty L1-D victim. Writebacks never allocate on a
-// miss (no-allocate policy): if the line is gone from the L2 it is forwarded
-// down the hierarchy. Allocating would recall evicted lines and amplify one
-// eviction into a cascade of fills.
-func (m *machine) writebackToL2(core int, addr uint64) {
-	if m.l2[core].Probe(addr) {
-		m.l2[core].Access(addr, true)
-		return
-	}
-	m.writebackToLLC(core, addr)
-}
-
-// writebackToLLC handles a dirty L2 victim: merge into the LLC if present,
-// otherwise bypass straight to DRAM (bandwidth only; writes are posted).
-func (m *machine) writebackToLLC(core int, addr uint64) {
-	slice := m.llcSliceOf(core, addr)
-	m.mesh.Latency(core, slice, reqBytes)
-	if m.llcProbe(core, addr) {
-		m.llcAccess(core, addr, true)
-		return
-	}
-	m.mesh.Latency(slice, m.mesh.MCTile(m.mem.MCOf(addr), m.mem.Controllers()), reqBytes)
-	m.mem.Access(core, addr, lineBytes, true)
-}
-
-// Load implements cpu.MemSystem.
-func (m *machine) Load(core int, addr uint64) cpu.MemResult {
-	if m.l1d[core].Access(addr, false) {
-		return cpu.MemResult{Latency: m.l1Time, Level: cpu.LevelL1}
-	}
-	return m.resolve(core, addr, false)
-}
-
-// Store implements cpu.MemSystem (write-allocate).
-func (m *machine) Store(core int, addr uint64) cpu.MemResult {
-	if m.l1d[core].Access(addr, true) {
-		return cpu.MemResult{Latency: m.l1Time, Level: cpu.LevelL1}
-	}
-	return m.resolve(core, addr, true)
-}
-
-// IFetch implements cpu.MemSystem. Sequential fetches are covered by the
-// next-line prefetcher: they keep the hierarchy state warm and consume
-// bandwidth but never stall. Non-sequential fetches (jump targets) stall
-// the front end for their full latency beyond the pipelined L1-I access.
-func (m *machine) IFetch(core int, addr uint64, jump bool) units.Cycles {
-	if m.l1i[core].Access(addr, false) {
-		return 0
-	}
-	// Instruction lines are clean; reuse the data path read logic against
-	// L2/LLC/DRAM but fill the L1-I instead of the L1-D.
-	if m.l2[core].Access(addr, false) {
-		m.l1i[core].Fill(addr, false)
-		if !jump {
-			return 0
-		}
-		return m.l2Time
-	}
-	slice, hit := m.llcAccess(core, addr, false)
-	nocLat := m.mesh.Latency(core, slice, reqBytes)
-	lat := m.l2Time + m.llcTime + nocLat
-	if !hit {
-		mc := m.mem.MCOf(addr)
-		lat += m.mesh.Latency(slice, m.mesh.MCTile(mc, m.mem.Controllers()), reqBytes)
-		lat += m.mem.Access(core, addr, lineBytes, false)
-		if victim, vdirty, evicted := m.llcFill(core, addr, false); evicted && vdirty {
-			m.mem.Access(core, victim, lineBytes, true)
-		}
-	}
-	m.fillL2(core, addr, false)
-	m.l1i[core].Fill(addr, false)
-	if !jump {
-		return 0 // hidden by the next-line prefetcher
-	}
-	return lat
 }
 
 // snapshot captures per-core cumulative counters at the measurement start.
@@ -531,13 +391,13 @@ func RunContext(ctx context.Context, cfg *config.SystemConfig, wl Workload, opts
 	// Phase 1 — warmup: run epochs until every program has retired its
 	// warmup budget. Programs that finish early keep running (they must
 	// keep generating contention).
+	limits := noLimits(make([]uint64, cfg.Cores))
 	for {
-		if err := ctx.Err(); err != nil {
+		if err := m.runEpoch(ctx, opts.EpochCycles, limits); err != nil {
 			return nil, err
 		}
 		allWarm := true
 		for _, c := range m.cores {
-			c.Run(opts.EpochCycles, ^uint64(0))
 			if c.Stats.Instructions < opts.Warmup {
 				allWarm = false
 			}
@@ -572,12 +432,11 @@ func RunContext(ctx context.Context, cfg *config.SystemConfig, wl Workload, opts
 	// Phase 2 — measure: epochs until the first program retires its budget.
 	elapsed := units.Cycles(0)
 	for {
-		if err := ctx.Err(); err != nil {
+		if err := m.runEpoch(ctx, opts.EpochCycles, limits); err != nil {
 			return nil, err
 		}
 		done := false
 		for _, c := range m.cores {
-			c.Run(opts.EpochCycles, ^uint64(0))
 			if c.Stats.Instructions >= opts.Instructions {
 				done = true
 			}

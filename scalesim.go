@@ -111,6 +111,13 @@ type SimOptions struct {
 	Trace bool
 	// TraceWarmup additionally snapshots warmup epochs (requires Trace).
 	TraceWarmup bool
+
+	// Tuning holds the performance-only knobs (worker pools, arena
+	// sizing). Nil means auto everywhere. Tuning never changes results and
+	// is not part of the campaign cache key. The field rides the wire in
+	// api/v1 as an optional "tuning" object; payloads without it decode
+	// unchanged.
+	Tuning *Tuning `json:"tuning,omitempty"`
 }
 
 // DefaultOptions returns the full-fidelity experiment options used for
@@ -149,6 +156,8 @@ func (o SimOptions) internal() sim.Options {
 		EnablePrefetch: o.EnablePrefetch,
 		NoFeedback:     o.NoFeedback,
 		PartitionedLLC: o.PartitionedLLC,
+		CoreWorkers:    o.Tuning.coreWorkers(),
+		EpochLogOps:    o.Tuning.epochLogOps(),
 	}
 	if o.Trace {
 		io.Telemetry = &sim.TelemetryOptions{Warmup: o.TraceWarmup}
@@ -453,6 +462,9 @@ func Simulate(spec MachineSpec, benchmarks []string, opts SimOptions, extra ...P
 // expiry propagates into the simulator's epoch loop, aborting the run
 // within one epoch and returning ctx.Err().
 func SimulateContext(ctx context.Context, spec MachineSpec, benchmarks []string, opts SimOptions, extra ...Profile) (*SimResult, error) {
+	if err := opts.Tuning.Validate(); err != nil {
+		return nil, err
+	}
 	cfg, wl, err := buildRun(spec, benchmarks, extra)
 	if err != nil {
 		return nil, err

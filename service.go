@@ -13,7 +13,15 @@ type ServiceConfig struct {
 	// Workers sizes the engine's internal pool for batch use; Service
 	// callers that drive jobs one at a time (like `scalesim serve`) bound
 	// concurrency themselves and may leave it zero.
+	//
+	// Deprecated: set Tuning.CampaignWorkers instead. Workers remains as
+	// an alias; Tuning.CampaignWorkers takes precedence when both are set.
 	Workers int
+	// Tuning consolidates the service's performance knobs: job-level
+	// workers, the per-simulation CoreWorkers default for jobs that carry
+	// no tuning of their own, arena sizing. Nil means auto. Tuning never
+	// changes results or cache keys.
+	Tuning *Tuning
 	// Store, when non-empty, is the durable memoization directory shared
 	// with batch campaigns: results a campaign computed serve from disk,
 	// and results the service computes are visible to later campaigns.
@@ -43,15 +51,19 @@ type ServiceConfig struct {
 type Service struct {
 	eng *runner.Engine
 	st  *store.Store
+	tun *Tuning
 }
 
 // NewService opens the store (when configured) and assembles the engine.
 func NewService(cfg ServiceConfig) (*Service, error) {
-	eng := runner.New(cfg.Workers)
+	if err := cfg.Tuning.Validate(); err != nil {
+		return nil, err
+	}
+	eng := runner.New(cfg.Tuning.campaignWorkers(cfg.Workers))
 	if cfg.Retry != (RetryPolicy{}) {
 		eng.SetRetry(runner.RetryPolicy(cfg.Retry))
 	}
-	svc := &Service{eng: eng}
+	svc := &Service{eng: eng, tun: cfg.Tuning}
 	if cfg.Store != "" {
 		st, err := store.Open(cfg.Store)
 		if err != nil {
@@ -89,11 +101,21 @@ func (p *PreparedJob) Key() string { return p.key }
 // with the matching ErrUnknown* sentinel, before any queueing or
 // simulation.
 func (s *Service) Prepare(job CampaignJob) (*PreparedJob, error) {
+	if err := job.Options.Tuning.Validate(); err != nil {
+		return nil, err
+	}
 	cfg, wl, err := buildRun(job.Machine, job.Benchmarks, job.Extra)
 	if err != nil {
 		return nil, err
 	}
-	rj := runner.Job{Config: cfg, Workload: wl, Options: job.Options.internal()}
+	io := job.Options.internal()
+	if job.Options.Tuning == nil {
+		// The service-level tuning is the default for jobs that carry none
+		// of their own (tuning is keyless, so this cannot split the memo).
+		io.CoreWorkers = s.tun.coreWorkers()
+		io.EpochLogOps = s.tun.epochLogOps()
+	}
+	rj := runner.Job{Config: cfg, Workload: wl, Options: io}
 	return &PreparedJob{key: rj.Key(), job: rj}, nil
 }
 

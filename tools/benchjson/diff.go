@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// diffReports compares two benchmark reports and renders a per-benchmark
+// ns/op table to w. It returns the benchmarks that regressed past
+// thresholdPct — considering only "short" benchmarks, those whose baseline
+// ns/op is at most shortNs: long figure-scale runs execute once
+// (-benchtime=1x) and their single sample is too noisy to gate on, while
+// the short ones are exactly the hot-path microbenchmarks a performance
+// regression shows up in first.
+//
+// Benchmarks are matched by package plus name with the -<GOMAXPROCS>
+// suffix stripped, so a baseline recorded on a different host still
+// compares. Benchmarks present on only one side are reported but never
+// fail the diff.
+func diffReports(w *os.File, old, new Report, thresholdPct, shortNs float64) []string {
+	type row struct {
+		key      string
+		oldNs    float64
+		newNs    float64
+		deltaPct float64
+		short    bool
+	}
+	index := func(r Report) map[string]float64 {
+		m := make(map[string]float64, len(r.Benchmarks))
+		for _, b := range r.Benchmarks {
+			if ns, ok := b.Metrics["ns/op"]; ok {
+				m[benchKey(b)] = ns
+			}
+		}
+		return m
+	}
+	oldNs, newNs := index(old), index(new)
+
+	var rows []row
+	var onlyOld, onlyNew []string
+	for k, o := range oldNs {
+		n, ok := newNs[k]
+		if !ok {
+			onlyOld = append(onlyOld, k)
+			continue
+		}
+		rows = append(rows, row{key: k, oldNs: o, newNs: n, deltaPct: 100 * (n - o) / o, short: o <= shortNs})
+	}
+	for k := range newNs {
+		if _, ok := oldNs[k]; !ok {
+			onlyNew = append(onlyNew, k)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+
+	var failed []string
+	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, r := range rows {
+		marker := ""
+		if r.short && r.deltaPct > thresholdPct {
+			marker = "  REGRESSION"
+			failed = append(failed, r.key)
+		}
+		if !r.short {
+			marker = "  (long, informational)"
+		}
+		fmt.Fprintf(w, "%-60s %14.0f %14.0f %+7.1f%%%s\n", r.key, r.oldNs, r.newNs, r.deltaPct, marker)
+	}
+	for _, k := range onlyOld {
+		fmt.Fprintf(w, "%-60s only in baseline\n", k)
+	}
+	for _, k := range onlyNew {
+		fmt.Fprintf(w, "%-60s only in new report\n", k)
+	}
+	return failed
+}
+
+// benchKey identifies a benchmark across reports: package plus name with
+// the trailing -<GOMAXPROCS> suffix dropped, so runs from hosts with
+// different core counts still line up.
+func benchKey(b Result) string {
+	name := b.Name
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if digitsOnly(name[i+1:]) {
+			name = name[:i]
+		}
+	}
+	if b.Package == "" {
+		return name
+	}
+	return b.Package + "." + name
+}
+
+func digitsOnly(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// readReport loads one JSON report written by benchjson -out.
+func readReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	return r, nil
+}

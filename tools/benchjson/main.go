@@ -9,6 +9,16 @@
 // custom ReportMetric units). The report is written with sorted keys and a
 // stable record order (input order), so identical bench runs produce
 // identical files.
+//
+// Diff mode compares two reports and gates on regressions:
+//
+//	go run ./tools/benchjson -diff BENCH_old.json BENCH_new.json
+//
+// It prints a per-benchmark ns/op table and exits non-zero when any short
+// benchmark (baseline ns/op at most -short-ns, default 1s) regressed by
+// more than -threshold percent (default 15). Long benchmarks are reported
+// for information only: they run once under -benchtime=1x, and a single
+// sample is too noisy to gate on.
 package main
 
 import (
@@ -38,8 +48,30 @@ type Report struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
-	out := flag.String("out", "", "write the JSON report to this file (required)")
+	out := flag.String("out", "", "write the JSON report to this file (required unless -diff)")
+	diff := flag.Bool("diff", false, "compare two reports: benchjson -diff old.json new.json")
+	threshold := flag.Float64("threshold", 15, "ns/op regression percentage that fails the diff")
+	shortNs := flag.Float64("short-ns", 1e9, "baseline ns/op bound below which a benchmark counts as short (gated)")
 	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			log.Fatal("-diff takes exactly two report files: benchjson -diff old.json new.json")
+		}
+		oldRep, err := readReport(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		newRep, err := readReport(flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		failed := diffReports(os.Stdout, oldRep, newRep, *threshold, *shortNs)
+		if len(failed) > 0 {
+			log.Fatalf("%d short benchmark(s) regressed more than %.0f%%: %s",
+				len(failed), *threshold, strings.Join(failed, ", "))
+		}
+		return
+	}
 	if *out == "" {
 		log.Fatal("-out is required")
 	}

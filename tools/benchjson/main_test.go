@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	r, ok := parseBenchLine("BenchmarkRun-8   \t     100\t  11358 ns/op\t 120 B/op")
@@ -23,5 +26,57 @@ func TestParseBenchLine(t *testing.T) {
 		if _, ok := parseBenchLine(line); ok {
 			t.Fatalf("non-result line parsed: %q", line)
 		}
+	}
+}
+
+func TestBenchKeyStripsGOMAXPROCS(t *testing.T) {
+	cases := []struct {
+		in   Result
+		want string
+	}{
+		{Result{Name: "BenchmarkRun-8", Package: "scalesim"}, "scalesim.BenchmarkRun"},
+		{Result{Name: "BenchmarkRun-128", Package: "scalesim"}, "scalesim.BenchmarkRun"},
+		{Result{Name: "BenchmarkRun", Package: "scalesim"}, "scalesim.BenchmarkRun"},
+		// A subbenchmark suffix that is not a core count stays.
+		{Result{Name: "BenchmarkRun/size-big", Package: ""}, "BenchmarkRun/size-big"},
+	}
+	for _, c := range cases {
+		if got := benchKey(c.in); got != c.want {
+			t.Errorf("benchKey(%q,%q) = %q, want %q", c.in.Package, c.in.Name, got, c.want)
+		}
+	}
+}
+
+// TestDiffReports pins the gating contract: short benchmarks past the
+// threshold fail, long benchmarks and one-sided benchmarks never do.
+func TestDiffReports(t *testing.T) {
+	old := Report{Benchmarks: []Result{
+		{Name: "BenchmarkFast-8", Package: "p", Metrics: map[string]float64{"ns/op": 1000}},
+		{Name: "BenchmarkSlow-8", Package: "p", Metrics: map[string]float64{"ns/op": 5e9}},
+		{Name: "BenchmarkGone-8", Package: "p", Metrics: map[string]float64{"ns/op": 10}},
+		{Name: "BenchmarkOK-8", Package: "p", Metrics: map[string]float64{"ns/op": 2000}},
+	}}
+	new := Report{Benchmarks: []Result{
+		// 30% regression on a short benchmark: fails.
+		{Name: "BenchmarkFast-4", Package: "p", Metrics: map[string]float64{"ns/op": 1300}},
+		// 100% regression on a long benchmark: informational only.
+		{Name: "BenchmarkSlow-4", Package: "p", Metrics: map[string]float64{"ns/op": 1e10}},
+		// Within threshold.
+		{Name: "BenchmarkOK-4", Package: "p", Metrics: map[string]float64{"ns/op": 2100}},
+		// New benchmark: reported, never gated.
+		{Name: "BenchmarkNew-4", Package: "p", Metrics: map[string]float64{"ns/op": 1}},
+	}}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	failed := diffReports(devnull, old, new, 15, 1e9)
+	if len(failed) != 1 || failed[0] != "p.BenchmarkFast" {
+		t.Fatalf("failed = %v, want [p.BenchmarkFast]", failed)
+	}
+	// A looser threshold passes everything.
+	if failed := diffReports(devnull, old, new, 50, 1e9); len(failed) != 0 {
+		t.Fatalf("failed = %v, want none at 50%%", failed)
 	}
 }

@@ -1,0 +1,171 @@
+package scalesim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"testing"
+
+	"scalesim/internal/runner"
+)
+
+func TestTuningValidate(t *testing.T) {
+	var nilTuning *Tuning
+	if err := nilTuning.Validate(); err != nil {
+		t.Fatalf("nil tuning must validate: %v", err)
+	}
+	if err := (&Tuning{}).Validate(); err != nil {
+		t.Fatalf("zero tuning must validate: %v", err)
+	}
+	for _, bad := range []Tuning{
+		{CoreWorkers: -1},
+		{CampaignWorkers: -2},
+		{EpochLogOps: -3},
+	} {
+		if err := bad.Validate(); !errors.Is(err, ErrBadTuning) {
+			t.Errorf("Validate(%+v) = %v, want ErrBadTuning", bad, err)
+		}
+	}
+}
+
+// TestBadTuningSurfaces pins where an invalid Tuning fails: before any
+// simulation, wrapping ErrBadTuning, at every entry point that accepts one.
+func TestBadTuningSurfaces(t *testing.T) {
+	bad := &Tuning{CoreWorkers: -1}
+	spec := MachineSpec{Cores: 1}
+	opts := FastOptions()
+	opts.Tuning = bad
+
+	if _, err := Simulate(spec, []string{"mcf"}, opts); !errors.Is(err, ErrBadTuning) {
+		t.Errorf("Simulate with bad tuning = %v, want ErrBadTuning", err)
+	}
+	if _, err := RunCampaign(Campaign{Tuning: bad}); !errors.Is(err, ErrBadTuning) {
+		t.Errorf("RunCampaign with bad campaign tuning = %v, want ErrBadTuning", err)
+	}
+	if _, err := NewService(ServiceConfig{Tuning: bad}); !errors.Is(err, ErrBadTuning) {
+		t.Errorf("NewService with bad tuning = %v, want ErrBadTuning", err)
+	}
+	// A bad per-job tuning fails in that job's outcome without sinking the
+	// batch.
+	res, err := RunCampaign(Campaign{Jobs: []CampaignJob{
+		{Machine: spec, Benchmarks: []string{"mcf"}, Options: opts},
+	}})
+	if err != nil {
+		t.Fatalf("RunCampaign: %v", err)
+	}
+	if got := res.Outcomes[0].Err; !errors.Is(got, ErrBadTuning) {
+		t.Errorf("job outcome = %v, want ErrBadTuning", got)
+	}
+}
+
+// TestDeprecatedWorkersAlias pins the alias contract for the consolidated
+// knob: Tuning.CampaignWorkers wins when set, the deprecated
+// Campaign.Workers / ServiceConfig.Workers value applies otherwise.
+func TestDeprecatedWorkersAlias(t *testing.T) {
+	cases := []struct {
+		tuning *Tuning
+		alias  int
+		want   int
+	}{
+		{nil, 0, 0},
+		{nil, 3, 3},
+		{&Tuning{}, 3, 3},
+		{&Tuning{CampaignWorkers: 2}, 3, 2},
+		{&Tuning{CampaignWorkers: 2}, 0, 2},
+	}
+	for _, c := range cases {
+		if got := c.tuning.campaignWorkers(c.alias); got != c.want {
+			t.Errorf("campaignWorkers(tuning=%+v, alias=%d) = %d, want %d", c.tuning, c.alias, got, c.want)
+		}
+	}
+}
+
+// TestTuningIsKeyless pins the memoization contract: two jobs differing
+// only in Tuning are the same design point and share one cache key.
+func TestTuningIsKeyless(t *testing.T) {
+	spec := MachineSpec{Cores: 2}
+	benches := []string{"mcf", "lbm"}
+	cfg, wl, err := buildRun(spec, benches, nil)
+	if err != nil {
+		t.Fatalf("buildRun: %v", err)
+	}
+	opts := FastOptions()
+	base := runner.Job{Config: cfg, Workload: wl, Options: opts.internal()}
+	tuned := opts
+	tuned.Tuning = &Tuning{CoreWorkers: 8, CampaignWorkers: 3, EpochLogOps: 16}
+	alt := runner.Job{Config: cfg, Workload: wl, Options: tuned.internal()}
+	if base.Key() != alt.Key() {
+		t.Fatalf("tuning changed the cache key:\n base %s\ntuned %s", base.Key(), alt.Key())
+	}
+}
+
+// TestParallelEpochDeterminism is the parallel-correctness gate for the
+// epoch fork/join: across a seed matrix and both LLC organisations, a run
+// with CoreWorkers > 1 must be byte-identical to the serial run — the same
+// full-precision per-core metrics, the same contention utilisations, and
+// the same JSONL telemetry bytes. It stays in -short (and therefore in
+// `make check` under -race, where the race detector also vets the epoch
+// barrier) because parallel epochs are the default execution mode.
+func TestParallelEpochDeterminism(t *testing.T) {
+	spec := MachineSpec{Cores: 4, Bandwidth: BandwidthMCFirst}
+	benches := BenchmarkNames()[:4]
+	variants := []struct {
+		name   string
+		mutate func(*SimOptions)
+	}{
+		{"shared-llc", func(*SimOptions) {}},
+		{"partitioned", func(o *SimOptions) { o.PartitionedLLC = true }},
+	}
+	for _, v := range variants {
+		for _, seed := range []uint64{1, 7} {
+			t.Run(fmt.Sprintf("%s/seed=%d", v.name, seed), func(t *testing.T) {
+				opts := FastOptions()
+				opts.Instructions = 60_000
+				opts.Warmup = 20_000
+				opts.Trace = true
+				opts.Seed = seed
+				v.mutate(&opts)
+
+				serial := opts
+				serial.Tuning = &Tuning{CoreWorkers: 1}
+				// EpochLogOps 8 deliberately undersizes the replay log so the
+				// arena growth path is exercised, not just the happy path.
+				parallel := opts
+				parallel.Tuning = &Tuning{CoreWorkers: 4, EpochLogOps: 8}
+
+				a := simPayload(t, spec, benches, serial)
+				b := simPayload(t, spec, benches, parallel)
+				if !bytes.Equal(a, b) {
+					t.Errorf("parallel run diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+				}
+			})
+		}
+	}
+}
+
+// simPayload renders every observable of one simulation with bit-exact
+// formatting: hex floats for the per-core metrics and utilisations, plus
+// the raw JSONL telemetry stream.
+func simPayload(t *testing.T, spec MachineSpec, benches []string, opts SimOptions) []byte {
+	t.Helper()
+	res, err := SimulateContext(context.Background(), spec, benches, opts)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	var buf bytes.Buffer
+	hex := func(x float64) string { return strconv.FormatFloat(x, 'x', -1, 64) }
+	fmt.Fprintf(&buf, "dram=%s noc=%s\n", hex(res.DRAMUtilization), hex(res.NoCUtilization))
+	for i, cr := range res.Cores {
+		fmt.Fprintf(&buf, "core=%d ipc=%s bw=%s mpki=%s mispred=%s\n", i,
+			hex(cr.IPC), hex(cr.BWBytesPerCycle), hex(cr.LLCMPKI), hex(cr.BranchMispredictRate))
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("traced run produced no snapshots")
+	}
+	if err := WriteTraceJSONL(&buf, res.Trace); err != nil {
+		t.Fatalf("WriteTraceJSONL: %v", err)
+	}
+	return buf.Bytes()
+}
