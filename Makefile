@@ -53,7 +53,7 @@ store-smoke:
 # compute the 5 base points, then serve the 4 midpoints from the model —
 # visible both per point and in the campaign stats line.
 surrogate-smoke:
-	@$(GO) run ./cmd/scalesim sweep -knob dram -dense -workers 1 \
+	@$(GO) run ./cmd/scalesim sweep -knob dram -dense -campaign-workers 1 \
 		-surrogate -surrogate-min 5 -surrogate-gate 1e9 -surrogate-dist 1e9 \
 		| tee .surrogate-smoke.out | grep "from model (approximate)" >/dev/null \
 		|| { echo "surrogate-smoke: no model hits in the dense sweep" >&2; cat .surrogate-smoke.out >&2; rm -f .surrogate-smoke.out; exit 1; }
@@ -130,15 +130,20 @@ bench-json:
 # number against a warm baseline.
 BENCH_SHORT ?= TableI|Speedup|Simulator_|Surrogate_|Tournament|LevelAccessHit|NUCAAccess|CoreStep|SVRFit|ForestFit|Telemetry|GeneratorNext|Uint64|Zipf
 BENCH_DIFF_THRESHOLD ?= 15
+# The baseline file pattern, overridable so the guard test can simulate a
+# tree with no committed baseline.
+BENCH_BASELINE_GLOB ?= BENCH_*.json
 
 # Short-benchmark regression gate: re-run the sub-second benchmarks and
 # diff their ns/op against the newest committed BENCH_*.json baseline,
 # failing on regressions past BENCH_DIFF_THRESHOLD percent. CI passes a
 # looser threshold because hosted runners are not the hardware the
-# baseline was recorded on.
+# baseline was recorded on. With no committed baseline (a fresh or shallow
+# clone), the gate skips cleanly instead of failing: there is nothing to
+# regress against, and `make bench-json` creates one.
 bench-diff:
-	@base=$$(ls BENCH_*.json 2>/dev/null | sort | tail -1); \
-	[ -n "$$base" ] || { echo "bench-diff: no BENCH_*.json baseline committed" >&2; exit 1; }; \
+	@base=$$(ls $(BENCH_BASELINE_GLOB) 2>/dev/null | sort | tail -1); \
+	[ -n "$$base" ] || { echo "bench-diff: skip: no $(BENCH_BASELINE_GLOB) baseline committed (run 'make bench-json' to create one)"; exit 0; }; \
 	echo "bench-diff: baseline $$base"; \
 	{ $(GO) test -run='^$$' -bench='$(BENCH_SHORT)' -benchtime=100ms -timeout=30m ./... \
 		| $(GO) run ./tools/benchjson -out .bench-diff.json \

@@ -2,13 +2,37 @@ package main
 
 import (
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 
 	"scalesim"
 )
+
+// deprecationOut receives deprecated-flag warnings; tests swap it to
+// capture the message.
+var deprecationOut io.Writer = os.Stderr
+
+// workersWarnOnce collapses repeated -workers uses (several subcommand
+// FlagSets share tuningFlags) into one warning per process.
+var workersWarnOnce sync.Once
+
+// warnDeprecatedWorkers prints the one-time -workers deprecation warning
+// if fs parsed the deprecated alias.
+func warnDeprecatedWorkers(fs *flag.FlagSet) {
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name != "workers" {
+			return
+		}
+		workersWarnOnce.Do(func() {
+			fmt.Fprintln(deprecationOut, "scalesim: -workers is deprecated; use -campaign-workers (same meaning: concurrent campaign jobs)")
+		})
+	})
+}
 
 // tuningFlags registers the shared performance-tuning flags, following the
 // -<subsystem>-<knob> naming convention, and returns a closure producing
@@ -26,6 +50,7 @@ func tuningFlags(fs *flag.FlagSet, campaign bool) func() *scalesim.Tuning {
 	return func() *scalesim.Tuning {
 		t := &scalesim.Tuning{CoreWorkers: *core}
 		if jobs != nil {
+			warnDeprecatedWorkers(fs)
 			t.CampaignWorkers = *jobs
 		}
 		if *t == (scalesim.Tuning{}) {

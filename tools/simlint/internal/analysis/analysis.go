@@ -27,6 +27,19 @@ type Finding struct {
 	// applies the edits (see ApplyFixes). Fixes never change what a rule
 	// reports — they ride along on the finding.
 	Fix *Fix
+	// Flow, when non-nil, is the finding's interprocedural witness: the
+	// call chain from a configured root to the flagged site, in call order.
+	// The interprocedural rules (hotpath, sharestrict) attach it so output
+	// explains *why* a function is hot or worker-reachable; it renders as a
+	// SARIF codeFlow.
+	Flow []FlowStep
+}
+
+// FlowStep is one hop of a finding's witness chain: a source position and
+// what happens there ("Core.Run calls step").
+type FlowStep struct {
+	Pos token.Position
+	Msg string
 }
 
 // Fix is a suggested remediation: a set of source edits that resolve the
@@ -252,6 +265,28 @@ type Config struct {
 	// rule enforces mutex hygiene (no blocking operation with a mutex held,
 	// no return path that leaks a lock).
 	Locks []string
+	// HotRoots name the hot-loop entry points of the hotpath rule as
+	// "<module-relative pkg dir>.<Type>.<Method>" (or "<dir>.<Func>"):
+	// every function reachable from a root through the call graph must be
+	// allocation-free (no make/new/append growth, slice or map literals,
+	// string concatenation, boxing into interface parameters, closure
+	// creation), must not lock, defer, range a map, or call fmt. Escapes
+	// use //simlint:hotpath-exempt <justification>. Empty disables the
+	// rule.
+	HotRoots []string
+	// WorkerRoots name the fork/join spawn points of the sharestrict rule:
+	// the goroutines launched inside these functions are the epoch worker
+	// pool, and nothing they reach may write shared simulator state.
+	WorkerRoots []string
+	// SharedTypes name the shared structures sharestrict guards, as
+	// "<dir>.<Type>": worker-reachable code must not call their mutating
+	// methods or write their fields directly.
+	SharedTypes []string
+	// SharedSafe names shared-type methods that are read-only and safe to
+	// call concurrently from workers, as "<dir>.<Type>.<Method>". Methods
+	// whose name ends in "Into" (the accumulator convention: reads shared
+	// state, writes a thread-local *Acc) are sanctioned implicitly.
+	SharedSafe []string
 	// KnownRules lists every registered rule name for //simlint:ignore
 	// validation. When empty, the names of the analyzers actually run are
 	// used — set it when running a rule subset, so suppressions of inactive
@@ -300,6 +335,9 @@ func Run(cfg Config, analyzers []Analyzer) ([]Finding, *Module, error) {
 	}
 	for i := range findings {
 		findings[i].Pos.Filename = m.RelFile(findings[i].Pos.Filename)
+		for j := range findings[i].Flow {
+			findings[i].Flow[j].Pos.Filename = m.RelFile(findings[i].Flow[j].Pos.Filename)
+		}
 	}
 	SortFindings(findings)
 	return findings, m, nil

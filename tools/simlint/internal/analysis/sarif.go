@@ -5,7 +5,10 @@
 // a physical location.
 package analysis
 
-import "path/filepath"
+import (
+	"go/token"
+	"path/filepath"
+)
 
 // SARIFSchema is the canonical 2.1.0 schema URI.
 const SARIFSchema = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
@@ -45,10 +48,27 @@ type SARIFResult struct {
 	Level     string          `json:"level"`
 	Message   SARIFMessage    `json:"message"`
 	Locations []SARIFLocation `json:"locations"`
+	// CodeFlows carries a finding's witness chain (Finding.Flow): the call
+	// path from a configured root to the flagged site, one threadFlow
+	// location per hop. GitHub code scanning renders it as a step-through.
+	CodeFlows []SARIFCodeFlow `json:"codeFlows,omitempty"`
+}
+
+type SARIFCodeFlow struct {
+	ThreadFlows []SARIFThreadFlow `json:"threadFlows"`
+}
+
+type SARIFThreadFlow struct {
+	Locations []SARIFThreadFlowLocation `json:"locations"`
+}
+
+type SARIFThreadFlowLocation struct {
+	Location SARIFLocation `json:"location"`
 }
 
 type SARIFLocation struct {
 	PhysicalLocation SARIFPhysicalLocation `json:"physicalLocation"`
+	Message          *SARIFMessage         `json:"message,omitempty"`
 }
 
 type SARIFPhysicalLocation struct {
@@ -94,15 +114,33 @@ func BuildSARIF(analyzers []Analyzer, newFindings, baselined []Finding) SARIFLog
 }
 
 func sarifResult(f Finding, level string) SARIFResult {
-	return SARIFResult{
-		RuleID:  f.Rule,
-		Level:   level,
-		Message: SARIFMessage{Text: f.Msg},
-		Locations: []SARIFLocation{{PhysicalLocation: SARIFPhysicalLocation{
-			ArtifactLocation: SARIFArtifactLocation{URI: filepath.ToSlash(f.Pos.Filename)},
-			Region:           SARIFRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
-		}}},
+	r := SARIFResult{
+		RuleID:    f.Rule,
+		Level:     level,
+		Message:   SARIFMessage{Text: f.Msg},
+		Locations: []SARIFLocation{sarifLocation(f.Pos, "")},
 	}
+	if len(f.Flow) > 0 {
+		tf := SARIFThreadFlow{}
+		for _, s := range f.Flow {
+			tf.Locations = append(tf.Locations, SARIFThreadFlowLocation{
+				Location: sarifLocation(s.Pos, s.Msg),
+			})
+		}
+		r.CodeFlows = []SARIFCodeFlow{{ThreadFlows: []SARIFThreadFlow{tf}}}
+	}
+	return r
+}
+
+func sarifLocation(pos token.Position, msg string) SARIFLocation {
+	loc := SARIFLocation{PhysicalLocation: SARIFPhysicalLocation{
+		ArtifactLocation: SARIFArtifactLocation{URI: filepath.ToSlash(pos.Filename)},
+		Region:           SARIFRegion{StartLine: pos.Line, StartColumn: pos.Column},
+	}}
+	if msg != "" {
+		loc.Message = &SARIFMessage{Text: msg}
+	}
+	return loc
 }
 
 // WriteSARIF writes the log as indented JSON, newline-terminated.

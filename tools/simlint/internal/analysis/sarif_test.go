@@ -91,5 +91,63 @@ func TestSARIFRequiredFields(t *testing.T) {
 		if line, _ := region["startLine"].(float64); line < 1 {
 			t.Errorf("results[%d] region.startLine = %v, want >= 1", i, region["startLine"])
 		}
+		if _, ok := r["codeFlows"]; ok {
+			t.Errorf("results[%d] has codeFlows despite the finding carrying no Flow", i)
+		}
+	}
+}
+
+// TestSARIFCodeFlows pins the codeFlow shape an interprocedural witness
+// chain renders to: one codeFlow with one threadFlow, one location per
+// FlowStep, each carrying the step's position and message. The walk goes
+// through a generic unmarshal like the required-field test, so the nested
+// struct tags are validated too.
+func TestSARIFCodeFlows(t *testing.T) {
+	finding := Finding{
+		Pos:  token.Position{Filename: "internal/sim/epoch.go", Line: 115, Column: 11},
+		Rule: "hotpath",
+		Msg:  "hot path (Core.Run → step): appends",
+		Flow: []FlowStep{
+			{Pos: token.Position{Filename: "internal/cpu/cpu.go", Line: 80, Column: 1}, Msg: "root Core.Run"},
+			{Pos: token.Position{Filename: "internal/cpu/cpu.go", Line: 91, Column: 3}, Msg: "Core.Run calls Core.step"},
+			{Pos: token.Position{Filename: "internal/sim/epoch.go", Line: 115, Column: 11}, Msg: "coreCtx.llcAccess appends"},
+		},
+	}
+	log := BuildSARIF([]Analyzer{stubAnalyzer{"hotpath", "hot code must not allocate"}},
+		[]Finding{finding}, nil)
+
+	data, err := json.Marshal(log)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	result := doc["runs"].([]any)[0].(map[string]any)["results"].([]any)[0].(map[string]any)
+	flows, _ := result["codeFlows"].([]any)
+	if len(flows) != 1 {
+		t.Fatalf("codeFlows has %d entries, want 1", len(flows))
+	}
+	threads, _ := flows[0].(map[string]any)["threadFlows"].([]any)
+	if len(threads) != 1 {
+		t.Fatalf("threadFlows has %d entries, want 1", len(threads))
+	}
+	locs, _ := threads[0].(map[string]any)["locations"].([]any)
+	if len(locs) != len(finding.Flow) {
+		t.Fatalf("threadFlow has %d locations, want %d", len(locs), len(finding.Flow))
+	}
+	for i, raw := range locs {
+		loc := raw.(map[string]any)["location"].(map[string]any)
+		phys := loc["physicalLocation"].(map[string]any)
+		uri := phys["artifactLocation"].(map[string]any)["uri"].(string)
+		line := phys["region"].(map[string]any)["startLine"].(float64)
+		if uri != finding.Flow[i].Pos.Filename || int(line) != finding.Flow[i].Pos.Line {
+			t.Errorf("step %d at %s:%v, want %s:%d", i, uri, line, finding.Flow[i].Pos.Filename, finding.Flow[i].Pos.Line)
+		}
+		msg := loc["message"].(map[string]any)["text"].(string)
+		if msg != finding.Flow[i].Msg {
+			t.Errorf("step %d message %q, want %q", i, msg, finding.Flow[i].Msg)
+		}
 	}
 }

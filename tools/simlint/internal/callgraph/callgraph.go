@@ -1,0 +1,489 @@
+// Package callgraph builds a static call graph over a type-checked simlint
+// module, for the interprocedural rules (hotpath, sharestrict).
+//
+// Construction is class-hierarchy analysis (CHA): a call through an
+// interface method resolves to the corresponding concrete method of every
+// named type in the module whose method set implements the interface. That
+// over-approximates the dynamic dispatch (soundly, for module-internal
+// types), which is the right bias for lint rules proving the *absence* of a
+// behavior on every path. Closures are their own nodes, connected to the
+// function that creates them by a Closure edge; a method or function used
+// as a value (handed off to be called later) contributes a FuncValue edge.
+// Calls through function-typed variables cannot be resolved statically and
+// are recorded on the calling node as Dyn sites, so rules can refuse to
+// certify functions that launder calls through them.
+//
+// Packages are traversed in Module.Order — the same import-topological
+// order the analysis framework uses for cross-package facts — so node and
+// edge slices are deterministic and every cross-package callee already has
+// a node when its caller's edges are added.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+
+	"scalesim/tools/simlint/internal/analysis"
+)
+
+// EdgeKind classifies how a caller reaches a callee.
+type EdgeKind int
+
+const (
+	// Static is a direct call of a declared function or concrete method.
+	Static EdgeKind = iota
+	// Interface is a call through an interface method, resolved by CHA to
+	// one concrete implementation (one edge per implementing module type).
+	Interface
+	// Closure connects a function to a literal it creates; the closure may
+	// run immediately, later, or on another goroutine, so reachability
+	// treats creation as a call.
+	Closure
+	// FuncValue is a function or method referenced as a value (stored,
+	// passed, returned) rather than called at the site; whoever receives
+	// the value may call it, so reachability follows the edge.
+	FuncValue
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case Static:
+		return "calls"
+	case Interface:
+		return "calls (via interface)"
+	case Closure:
+		return "creates closure"
+	case FuncValue:
+		return "takes value of"
+	}
+	return fmt.Sprintf("EdgeKind(%d)", int(k))
+}
+
+// Edge is one caller→callee connection at a source position.
+type Edge struct {
+	Callee *Node
+	Site   token.Pos
+	Kind   EdgeKind
+}
+
+// Node is one function body: a declared function or method (Fn non-nil) or
+// a function literal (Lit non-nil). Literal IDs are their enclosing
+// declaration's ID plus "$N", numbering the literals of the declaration in
+// source order.
+type Node struct {
+	ID    string
+	Pkg   *analysis.Package
+	Fn    *types.Func   // nil for literals
+	Lit   *ast.FuncLit  // nil for declared functions
+	Decl  *ast.FuncDecl // enclosing declaration (the node's own for Fn nodes)
+	Body  *ast.BlockStmt
+	Out   []Edge
+	Dyn   []token.Pos // call sites through function-typed values, unresolvable statically
+	short string
+}
+
+// Short is the node's name without the package directory ("Core.Run",
+// "Core.Run$1"), for witness-chain rendering.
+func (n *Node) Short() string { return n.short }
+
+// Pos is the node's declaration position: the func keyword of a literal,
+// the name of a declared function.
+func (n *Node) Pos() token.Pos {
+	if n.Lit != nil {
+		return n.Lit.Pos()
+	}
+	return n.Decl.Name.Pos()
+}
+
+// Graph is the module's call graph.
+type Graph struct {
+	Module *analysis.Module
+
+	nodes  map[string]*Node
+	byFunc map[*types.Func]*Node
+	byLit  map[*ast.FuncLit]*Node
+	sorted []*Node // creation order: Module.Order, then file, then source order
+}
+
+// Node returns the node with the given ID ("internal/cpu.Core.Run",
+// "Simulate" for the module root package, "…$1" for literals), or nil.
+func (g *Graph) Node(id string) *Node { return g.nodes[id] }
+
+// FuncNode returns the node of a declared function or method, or nil.
+func (g *Graph) FuncNode(fn *types.Func) *Node { return g.byFunc[fn] }
+
+// LitNode returns the node of a function literal, or nil.
+func (g *Graph) LitNode(lit *ast.FuncLit) *Node { return g.byLit[lit] }
+
+// Sorted returns every node in deterministic creation order
+// (import-topological by package, then source order).
+func (g *Graph) Sorted() []*Node { return g.sorted }
+
+// FuncID renders the node ID of a declared function or method in the
+// package with the given module-relative directory: "<dir>.<Type>.<Method>"
+// or "<dir>.<Func>", matching the spec syntax of the rule configuration.
+func FuncID(rel string, fn *types.Func) string {
+	key := fn.Name()
+	if r := recvName(fn); r != "" {
+		key = r + "." + key
+	}
+	if rel == "" {
+		return key
+	}
+	return rel + "." + key
+}
+
+// recvName returns the receiver type name of a method (through a pointer),
+// or "" for package-level functions.
+func recvName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+var (
+	ofMu    sync.Mutex
+	ofCache = map[*analysis.Module]*Graph{}
+)
+
+// Of returns the memoized call graph of a loaded module, building it on
+// first use. Both interprocedural rules run over the same module load, so
+// they share one graph.
+func Of(m *analysis.Module) *Graph {
+	ofMu.Lock()
+	defer ofMu.Unlock()
+	if g := ofCache[m]; g != nil {
+		return g
+	}
+	g := Build(m)
+	ofCache[m] = g
+	return g
+}
+
+// Build constructs the call graph: one pass creating a node per function
+// body, one pass adding edges, then CHA resolution of the collected
+// interface call sites.
+func Build(m *analysis.Module) *Graph {
+	g := &Graph{
+		Module: m,
+		nodes:  map[string]*Node{},
+		byFunc: map[*types.Func]*Node{},
+		byLit:  map[*ast.FuncLit]*Node{},
+	}
+	b := &builder{m: m, g: g}
+	for _, p := range m.Order {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				b.declNode(p, fd, fn)
+			}
+		}
+	}
+	for _, n := range g.sorted {
+		b.addEdges(n)
+	}
+	b.resolveInterfaces()
+	return g
+}
+
+type ifaceSite struct {
+	caller *Node
+	iface  *types.Interface
+	method *types.Func
+	site   token.Pos
+	kind   EdgeKind
+}
+
+type builder struct {
+	m     *analysis.Module
+	g     *Graph
+	iface []ifaceSite
+}
+
+// declNode creates the node of a declared function plus one node per
+// literal in its body, numbered in source order. Multiple declarations can
+// share a key ("func init"); later ones get a "#n" suffix so IDs stay
+// unique and deterministic.
+func (b *builder) declNode(p *analysis.Package, fd *ast.FuncDecl, fn *types.Func) {
+	id := FuncID(p.Rel, fn)
+	short := id[strings.LastIndex(id, "/")+1:]
+	if p.Rel != "" {
+		short = strings.TrimPrefix(id, p.Rel+".")
+	}
+	for k := 2; b.g.nodes[id] != nil; k++ {
+		id = fmt.Sprintf("%s#%d", FuncID(p.Rel, fn), k)
+		short = fmt.Sprintf("%s#%d", strings.TrimPrefix(FuncID(p.Rel, fn), p.Rel+"."), k)
+	}
+	n := &Node{ID: id, Pkg: p, Fn: fn, Decl: fd, Body: fd.Body, short: short}
+	b.g.nodes[id] = n
+	b.g.byFunc[fn] = n
+	b.g.sorted = append(b.g.sorted, n)
+	count := 0
+	ast.Inspect(fd.Body, func(x ast.Node) bool {
+		lit, ok := x.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		count++
+		ln := &Node{
+			ID:    fmt.Sprintf("%s$%d", id, count),
+			Pkg:   p,
+			Lit:   lit,
+			Decl:  fd,
+			Body:  lit.Body,
+			short: fmt.Sprintf("%s$%d", short, count),
+		}
+		b.g.nodes[ln.ID] = ln
+		b.g.byLit[lit] = ln
+		b.g.sorted = append(b.g.sorted, ln)
+		return true
+	})
+}
+
+// addEdges walks one node's body (literals are separate nodes, so the walk
+// stops at nested FuncLit boundaries after recording the Closure edge).
+func (b *builder) addEdges(n *Node) {
+	info := n.Pkg.Info
+	callFun := map[ast.Node]bool{} // expressions in call position
+	selSel := map[*ast.Ident]bool{}
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			if ln := b.g.byLit[x]; ln != nil {
+				n.Out = append(n.Out, Edge{Callee: ln, Site: x.Pos(), Kind: Closure})
+			}
+			return false
+		case *ast.CallExpr:
+			fun := ast.Unparen(x.Fun)
+			callFun[fun] = true
+			b.call(n, x, fun)
+		case *ast.SelectorExpr:
+			selSel[x.Sel] = true
+			if !callFun[x] {
+				if fn, ok := info.Uses[x.Sel].(*types.Func); ok {
+					b.funcRef(n, fn, x.Sel.Pos(), FuncValue)
+				}
+			}
+		case *ast.Ident:
+			if !callFun[x] && !selSel[x] {
+				if fn, ok := info.Uses[x].(*types.Func); ok {
+					b.funcRef(n, fn, x.Pos(), FuncValue)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// call resolves one call expression. Conversions and builtins add no edge;
+// calls through function-typed values are recorded as Dyn sites.
+func (b *builder) call(n *Node, call *ast.CallExpr, fun ast.Expr) {
+	info := n.Pkg.Info
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	var obj types.Object
+	switch f := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = info.Uses[f.Sel]
+	case *ast.FuncLit:
+		return // immediately invoked; the FuncLit visit adds the Closure edge
+	default:
+		n.Dyn = append(n.Dyn, call.Lparen) // e.g. calling a call's result
+		return
+	}
+	switch o := obj.(type) {
+	case *types.Builtin, *types.TypeName, *types.Nil:
+		return
+	case *types.Func:
+		b.funcRef(n, o, call.Lparen, Static)
+	default:
+		n.Dyn = append(n.Dyn, call.Lparen) // function-typed variable or field
+	}
+}
+
+// funcRef adds the edge of a resolved function reference. Interface
+// methods are deferred to CHA resolution; functions outside the module
+// have no node and add no edge (rules that care about external callees —
+// fmt, sync — check call sites directly).
+func (b *builder) funcRef(n *Node, fn *types.Func, site token.Pos, kind EdgeKind) {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if it, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+			if kind == Static {
+				kind = Interface
+			}
+			b.iface = append(b.iface, ifaceSite{caller: n, iface: it, method: fn, site: site, kind: kind})
+			return
+		}
+	}
+	if callee := b.g.byFunc[fn]; callee != nil {
+		n.Out = append(n.Out, Edge{Callee: callee, Site: site, Kind: kind})
+	}
+}
+
+// resolveInterfaces adds one edge per (interface call site, implementing
+// module type): CHA. The pointer method set is used, so value- and
+// pointer-receiver implementations both resolve; that over-approximation
+// is what makes reachability a sound basis for "must not happen" rules.
+func (b *builder) resolveInterfaces() {
+	named := b.moduleNamedTypes()
+	for _, s := range b.iface {
+		for _, nt := range named {
+			if !types.Implements(types.NewPointer(nt), s.iface) {
+				continue
+			}
+			sel := types.NewMethodSet(types.NewPointer(nt)).Lookup(s.method.Pkg(), s.method.Name())
+			if sel == nil {
+				continue
+			}
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				continue
+			}
+			if callee := b.g.byFunc[fn]; callee != nil {
+				s.caller.Out = append(s.caller.Out, Edge{Callee: callee, Site: s.site, Kind: s.kind})
+			}
+		}
+	}
+}
+
+// moduleNamedTypes lists every defined non-interface named type of the
+// module in deterministic order (packages sorted by Rel, names sorted
+// within a package scope).
+func (b *builder) moduleNamedTypes() []*types.Named {
+	var out []*types.Named
+	for _, p := range b.m.Pkgs {
+		scope := p.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			nt, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(nt) {
+				continue
+			}
+			out = append(out, nt)
+		}
+	}
+	return out
+}
+
+// PathStep is one hop of a reachability witness: Caller reaches
+// Edge.Callee through Edge.Site.
+type PathStep struct {
+	Caller *Node
+	Edge   Edge
+}
+
+// Reach is the result of a reachability query: the set of nodes reachable
+// from the roots, with a shortest-path witness to each.
+type Reach struct {
+	roots map[*Node]bool
+	prev  map[*Node]PathStep
+}
+
+// Reach runs a breadth-first search from the roots. follow, when non-nil,
+// filters edges: an edge for which it returns false is not traversed
+// (sharestrict uses this to stop at the sanctioned shared-state surface).
+// Traversal order is deterministic: roots in argument order, out-edges in
+// construction order.
+func (g *Graph) Reach(roots []*Node, follow func(caller *Node, e Edge) bool) *Reach {
+	r := &Reach{roots: map[*Node]bool{}, prev: map[*Node]PathStep{}}
+	var queue []*Node
+	for _, n := range roots {
+		if n == nil || r.roots[n] {
+			continue
+		}
+		r.roots[n] = true
+		queue = append(queue, n)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if follow != nil && !follow(n, e) {
+				continue
+			}
+			if r.roots[e.Callee] {
+				continue
+			}
+			if _, seen := r.prev[e.Callee]; seen {
+				continue
+			}
+			r.prev[e.Callee] = PathStep{Caller: n, Edge: e}
+			queue = append(queue, e.Callee)
+		}
+	}
+	return r
+}
+
+// Has reports whether n is reachable (roots included).
+func (r *Reach) Has(n *Node) bool {
+	if r.roots[n] {
+		return true
+	}
+	_, ok := r.prev[n]
+	return ok
+}
+
+// Path returns the shortest witness chain from a root to n: the steps, in
+// call order, that make n reachable. Roots and unreachable nodes return
+// nil.
+func (r *Reach) Path(n *Node) []PathStep {
+	if r.roots[n] {
+		return nil
+	}
+	var rev []PathStep
+	cur := n
+	for !r.roots[cur] {
+		step, ok := r.prev[cur]
+		if !ok {
+			return nil
+		}
+		rev = append(rev, step)
+		cur = step.Caller
+	}
+	out := make([]PathStep, len(rev))
+	for i, s := range rev {
+		out[len(rev)-1-i] = s
+	}
+	return out
+}
+
+// Chain renders a witness path as "root → a → b → target" starting at the
+// first step's caller. An empty path renders as just the node's own name.
+func Chain(target *Node, path []PathStep) string {
+	if len(path) == 0 {
+		return target.Short()
+	}
+	var b strings.Builder
+	b.WriteString(path[0].Caller.Short())
+	for _, s := range path {
+		b.WriteString(" → ")
+		b.WriteString(s.Edge.Callee.Short())
+	}
+	return b.String()
+}

@@ -1,0 +1,177 @@
+package callgraph
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"scalesim/tools/simlint/internal/analysis"
+)
+
+var (
+	fixOnce sync.Once
+	fixMod  *analysis.Module
+	fixErr  error
+)
+
+func fixtureGraph(t *testing.T) *Graph {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixMod, fixErr = analysis.LoadModule("testdata/cgfix")
+	})
+	if fixErr != nil {
+		t.Fatalf("loading fixture module: %v", fixErr)
+	}
+	return Of(fixMod)
+}
+
+// edge reports whether from has an out-edge to the node with the given ID,
+// returning its kind.
+func edge(t *testing.T, g *Graph, from, to string) (EdgeKind, bool) {
+	t.Helper()
+	f := g.Node(from)
+	if f == nil {
+		t.Fatalf("no node %q", from)
+	}
+	for _, e := range f.Out {
+		if e.Callee.ID == to {
+			return e.Kind, true
+		}
+	}
+	return 0, false
+}
+
+func TestStaticAndCrossPackageEdges(t *testing.T) {
+	g := fixtureGraph(t)
+	if k, ok := edge(t, g, "app.Drive", "core.Engine.Step"); !ok || k != Static {
+		t.Errorf("app.Drive → core.Engine.Step: got (%v, %v), want Static edge", k, ok)
+	}
+	if k, ok := edge(t, g, "core.Table.Load", "core.helper"); !ok || k != Static {
+		t.Errorf("core.Table.Load → core.helper: got (%v, %v), want Static edge", k, ok)
+	}
+}
+
+func TestInterfaceCallResolvesByCHA(t *testing.T) {
+	g := fixtureGraph(t)
+	for _, impl := range []string{"core.Table.Load", "core.Flat.Load"} {
+		if k, ok := edge(t, g, "core.Engine.Step", impl); !ok || k != Interface {
+			t.Errorf("core.Engine.Step → %s: got (%v, %v), want Interface edge", impl, k, ok)
+		}
+	}
+}
+
+func TestClosureAndMethodValueEdges(t *testing.T) {
+	g := fixtureGraph(t)
+	if k, ok := edge(t, g, "core.Engine.Spawn", "core.Engine.Spawn$1"); !ok || k != Closure {
+		t.Errorf("Spawn → Spawn$1: got (%v, %v), want Closure edge", k, ok)
+	}
+	if k, ok := edge(t, g, "core.Engine.Spawn$1", "core.Engine.Step"); !ok || k != Static {
+		t.Errorf("Spawn$1 → Step: got (%v, %v), want Static edge", k, ok)
+	}
+	// The method value e.mem.Load resolves through CHA as FuncValue edges.
+	for _, impl := range []string{"core.Table.Load", "core.Flat.Load"} {
+		if k, ok := edge(t, g, "core.Engine.Spawn", impl); !ok || k != FuncValue {
+			t.Errorf("Spawn → %s: got (%v, %v), want FuncValue edge", impl, k, ok)
+		}
+	}
+}
+
+func TestDynamicCallRecorded(t *testing.T) {
+	g := fixtureGraph(t)
+	step := g.Node("core.Engine.Step")
+	if step == nil {
+		t.Fatal("no node core.Engine.Step")
+	}
+	if len(step.Dyn) != 1 {
+		t.Fatalf("Step.Dyn: got %d sites, want 1 (the e.hook(addr) call)", len(step.Dyn))
+	}
+}
+
+func TestReachabilityAndWitness(t *testing.T) {
+	g := fixtureGraph(t)
+	r := g.Reach([]*Node{g.Node("app.Drive")}, nil)
+
+	for _, id := range []string{"app.Drive", "core.Engine.Step", "core.Table.Load", "core.Flat.Load", "core.helper"} {
+		if !r.Has(g.Node(id)) {
+			t.Errorf("%s not reachable from app.Drive", id)
+		}
+	}
+	for _, id := range []string{"app.Detached", "core.Engine.Spawn", "core.Engine.Spawn$1"} {
+		if r.Has(g.Node(id)) {
+			t.Errorf("%s reachable from app.Drive; want unreachable", id)
+		}
+	}
+
+	helper := g.Node("core.helper")
+	got := Chain(helper, r.Path(helper))
+	want := "Drive → Engine.Step → Table.Load → helper"
+	if got != want {
+		t.Errorf("witness chain: got %q, want %q", got, want)
+	}
+	if r.Path(g.Node("app.Drive")) != nil {
+		t.Error("Path of a root: want nil")
+	}
+	if r.Path(g.Node("app.Detached")) != nil {
+		t.Error("Path of an unreachable node: want nil")
+	}
+}
+
+func TestReachFilterStopsTraversal(t *testing.T) {
+	g := fixtureGraph(t)
+	r := g.Reach([]*Node{g.Node("app.Drive")}, func(caller *Node, e Edge) bool {
+		return e.Callee.ID != "core.Table.Load"
+	})
+	if r.Has(g.Node("core.Table.Load")) {
+		t.Error("filtered edge still traversed")
+	}
+	if !r.Has(g.Node("core.Flat.Load")) {
+		t.Error("unfiltered sibling edge lost")
+	}
+	// helper is only reachable through Table.Load, so the filter prunes it.
+	if r.Has(g.Node("core.helper")) {
+		t.Error("core.helper reachable despite its only path being filtered")
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	g1 := Build(fixtureGraph(t).Module)
+	g2 := Build(fixtureGraph(t).Module)
+	s1, s2 := g1.Sorted(), g2.Sorted()
+	if len(s1) != len(s2) {
+		t.Fatalf("node counts differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i].ID != s2[i].ID {
+			t.Fatalf("node order differs at %d: %s vs %s", i, s1[i].ID, s2[i].ID)
+		}
+		if len(s1[i].Out) != len(s2[i].Out) {
+			t.Fatalf("%s: edge counts differ", s1[i].ID)
+		}
+		for j := range s1[i].Out {
+			a, b := s1[i].Out[j], s2[i].Out[j]
+			if a.Callee.ID != b.Callee.ID || a.Kind != b.Kind || a.Site != b.Site {
+				t.Fatalf("%s: edge %d differs", s1[i].ID, j)
+			}
+		}
+	}
+}
+
+func TestShortNames(t *testing.T) {
+	g := fixtureGraph(t)
+	for id, want := range map[string]string{
+		"core.Engine.Step":    "Engine.Step",
+		"core.Engine.Spawn$1": "Engine.Spawn$1",
+		"app.Drive":           "Drive",
+	} {
+		n := g.Node(id)
+		if n == nil {
+			t.Fatalf("no node %q", id)
+		}
+		if n.Short() != want {
+			t.Errorf("Short(%s): got %q, want %q", id, n.Short(), want)
+		}
+	}
+	if !strings.Contains(Chain(g.Node("app.Drive"), nil), "Drive") {
+		t.Error("Chain with empty path must fall back to the node's own name")
+	}
+}

@@ -1,0 +1,19 @@
+// Package app is the cross-package side of the callgraph fixture: it calls
+// into core, so edges must cross packages in import-topological order.
+package app
+
+import "cgfix/core"
+
+// Drive is the fixture's reachability root.
+func Drive(e *core.Engine, n int) uint64 {
+	var sum uint64
+	for i := 0; i < n; i++ {
+		sum += e.Step(uint64(i))
+	}
+	return sum
+}
+
+// Detached is not reachable from Drive.
+func Detached(e *core.Engine) func() uint64 {
+	return e.Spawn(0)
+}

@@ -1,0 +1,53 @@
+// Package core is the callgraph test fixture's "hot" side: an engine
+// stepping through an interface, closures, method values, and a dynamic
+// call the graph must refuse to resolve.
+package core
+
+// Mem is dispatched through CHA: both Table and Flat implement it.
+type Mem interface {
+	Load(addr uint64) uint64
+}
+
+type Engine struct {
+	mem   Mem
+	hook  func(uint64)
+	count uint64
+}
+
+// Step calls through the interface and through a function-typed field.
+func (e *Engine) Step(addr uint64) uint64 {
+	e.count++
+	if e.hook != nil {
+		e.hook(addr) // dynamic: recorded as a Dyn site, not an edge
+	}
+	return e.mem.Load(addr)
+}
+
+// Spawn creates a closure that calls Step, and takes a method value.
+func (e *Engine) Spawn(addr uint64) func() uint64 {
+	f := e.mem.Load // method value on an interface: CHA edges
+	_ = f
+	return func() uint64 {
+		return e.Step(addr)
+	}
+}
+
+type Table struct {
+	data map[uint64]uint64
+}
+
+func (t *Table) Load(addr uint64) uint64 {
+	return t.data[addr] + helper(addr)
+}
+
+type Flat struct {
+	data []uint64
+}
+
+func (f *Flat) Load(addr uint64) uint64 {
+	return f.data[addr%uint64(len(f.data))]
+}
+
+func helper(addr uint64) uint64 {
+	return addr >> 1
+}

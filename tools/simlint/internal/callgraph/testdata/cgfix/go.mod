@@ -1,0 +1,3 @@
+module cgfix
+
+go 1.22

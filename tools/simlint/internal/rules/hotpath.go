@@ -1,0 +1,403 @@
+package rules
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"scalesim/tools/simlint/internal/analysis"
+	"scalesim/tools/simlint/internal/callgraph"
+)
+
+// hotpath proves the epoch simulator's 0-allocs/op invariant statically:
+// every function reachable from the configured hot-loop roots (Config
+// .HotRoots) through the call graph must not allocate — no make/new, no
+// append (growth allocates), no slice/map literals or addressed composite
+// literals, no string concatenation, no boxing into interface parameters,
+// no closure creation — and must not lock, defer, spawn, touch channels,
+// range a map, or call fmt. Dynamic calls through function-typed values
+// are flagged too: what cannot be resolved cannot be certified.
+//
+// Escapes use a dedicated directive validated like suppressions:
+//
+//	//simlint:hotpath-exempt <justification>
+//
+// on the offending line, the line above, or the line of (or directly
+// above) the func keyword to exempt a whole function — the right form for
+// amortized allocators (arena growth, high-water append) that are
+// allocation-free at steady state. A directive with no justification, or
+// one attached to a function the hot roots do not reach, is itself a
+// finding, so exemptions cannot rot silently.
+//
+// Every finding carries its witness: the shortest call chain from a root,
+// rendered in the message and attached as Finding.Flow (a SARIF codeFlow).
+type hotpath struct {
+	roots []taintSpec
+}
+
+func (hotpath) Name() string { return "hotpath" }
+func (hotpath) Doc() string {
+	return "functions reachable from the hot-loop roots must not allocate, lock, defer, range maps, or call fmt"
+}
+
+// HotpathExemptPrefix introduces a hot-path exemption comment.
+const HotpathExemptPrefix = "simlint:hotpath-exempt"
+
+// specID renders the callgraph node ID a taint spec names.
+func specID(s taintSpec) string {
+	key := s.name
+	if s.typ != "" {
+		key = s.typ + "." + s.name
+	}
+	if s.dir == "" {
+		return key
+	}
+	return s.dir + "." + key
+}
+
+func (h hotpath) RunModule(m *analysis.Module) []analysis.Finding {
+	if len(h.roots) == 0 {
+		return nil
+	}
+	g := callgraph.Of(m)
+	var findings []analysis.Finding
+
+	var roots []*callgraph.Node
+	for _, spec := range h.roots {
+		n := g.Node(specID(spec))
+		if n == nil {
+			findings = append(findings, analysis.Finding{
+				Pos:  token.Position{Filename: filepath.Join(m.Root, "go.mod"), Line: 1},
+				Rule: h.Name(),
+				Msg:  fmt.Sprintf("hot root %q not found in the call graph; fix the root configuration or restore the function", spec.source),
+			})
+			continue
+		}
+		roots = append(roots, n)
+	}
+	reach := g.Reach(roots, nil)
+
+	ex, bad := collectExemptions(m, h.Name())
+	findings = append(findings, bad...)
+
+	for _, n := range g.Sorted() {
+		if !reach.Has(n) {
+			continue
+		}
+		findings = append(findings, h.checkNode(m, n, reach, ex)...)
+	}
+	findings = append(findings, ex.stale(m, g, reach, h.Name())...)
+	return findings
+}
+
+// checkNode flags every forbidden construct in one reachable function
+// body. Nested literals are their own nodes and checked separately (their
+// creation is already a violation here).
+func (h hotpath) checkNode(m *analysis.Module, n *callgraph.Node, reach *callgraph.Reach, ex *exemptIndex) []analysis.Finding {
+	info := n.Pkg.Info
+	chain := callgraph.Chain(n, reach.Path(n))
+	var out []analysis.Finding
+	report := func(p token.Pos, what string) {
+		pos := m.Fset.Position(p)
+		if ex.covers(m, n, pos) {
+			return
+		}
+		out = append(out, analysis.Finding{
+			Pos:  pos,
+			Rule: h.Name(),
+			Msg:  fmt.Sprintf("hot path (%s): %s; keep hot code allocation-free or annotate //%s <why>", chain, what, HotpathExemptPrefix),
+			Flow: witnessFlow(m, n, reach, pos, what),
+		})
+	}
+
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			report(x.Pos(), "creates a closure (allocates)")
+			return false
+		case *ast.DeferStmt:
+			report(x.Pos(), "defers (per-call scheduling cost on the hot path)")
+		case *ast.GoStmt:
+			report(x.Pos(), "spawns a goroutine")
+		case *ast.SendStmt:
+			report(x.Pos(), "sends on a channel")
+		case *ast.SelectStmt:
+			report(x.Pos(), "selects on channels")
+		case *ast.UnaryExpr:
+			switch x.Op {
+			case token.ARROW:
+				report(x.Pos(), "receives from a channel")
+			case token.AND:
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					report(x.Pos(), "takes the address of a composite literal (heap allocation)")
+				}
+			}
+		case *ast.RangeStmt:
+			if t := info.Types[x.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					report(x.Pos(), "ranges over a map (hash iteration, nondeterministic order)")
+				}
+			}
+		case *ast.CompositeLit:
+			if t := info.Types[x].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					report(x.Pos(), "allocates (slice literal)")
+				case *types.Map:
+					report(x.Pos(), "allocates (map literal)")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(info.Types[x.X].Type) {
+				report(x.Pos(), "concatenates strings (allocates)")
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringType(info.Types[x.Lhs[0]].Type) {
+				report(x.Pos(), "concatenates strings (allocates)")
+			}
+		case *ast.CallExpr:
+			h.checkCall(info, n, x, report)
+		}
+		return true
+	})
+	for _, p := range n.Dyn {
+		report(p, "calls through a function-typed value (statically unresolvable, so it cannot be certified allocation-free)")
+	}
+	return out
+}
+
+// checkCall flags allocating builtins and conversions, fmt and sync
+// callees, and arguments boxed into interface parameters.
+func (h hotpath) checkCall(info *types.Info, n *callgraph.Node, call *ast.CallExpr, report func(token.Pos, string)) {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		// Conversions: to a slice/map always allocates; string(bytes) and
+		// bytes(string) copy.
+		if len(call.Args) == 1 {
+			to, from := tv.Type.Underlying(), info.Types[call.Args[0]].Type
+			switch to.(type) {
+			case *types.Slice, *types.Map:
+				if from == nil || !types.Identical(from.Underlying(), to) {
+					report(call.Pos(), "allocates (conversion to a slice or map)")
+				}
+			case *types.Basic:
+				if isStringType(tv.Type) && from != nil {
+					if _, ok := from.Underlying().(*types.Slice); ok {
+						report(call.Pos(), "allocates (byte-slice to string conversion)")
+					}
+				}
+			}
+		}
+		return
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "allocates (make)")
+			case "new":
+				report(call.Pos(), "allocates (new)")
+			case "append":
+				report(call.Pos(), "appends (growth allocates; pre-size the buffer or justify the amortization)")
+			}
+			return
+		}
+	}
+	if fn := calleeOf(info, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			report(call.Pos(), fmt.Sprintf("calls fmt.%s (reflection and allocation)", fn.Name()))
+			return
+		case "sync":
+			report(call.Pos(), fmt.Sprintf("calls sync %s (locking on the hot path)", funcKey(fn)))
+			return
+		}
+	}
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	qual := types.RelativeTo(n.Pkg.Pkg)
+	for i, arg := range call.Args {
+		pt := paramAt(sig, i)
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || types.IsInterface(at) || isPointerShaped(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Info()&types.IsUntyped != 0 {
+			continue // nil, untyped constants the compiler can stage
+		}
+		report(arg.Pos(), fmt.Sprintf("boxes %s into an interface parameter (allocates)", types.TypeString(at, qual)))
+	}
+}
+
+// paramAt returns the type of the i-th argument's parameter, unrolling
+// variadics.
+func paramAt(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if sig.Variadic() && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1).Type()
+		if s, ok := last.Underlying().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isPointerShaped reports whether values of t fit in a pointer word, so
+// storing one in an interface does not allocate.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// witnessFlow renders a reachability witness as Finding.Flow: the root,
+// one step per call edge, then the flagged site.
+func witnessFlow(m *analysis.Module, n *callgraph.Node, reach *callgraph.Reach, site token.Position, what string) []analysis.FlowStep {
+	path := reach.Path(n)
+	var flow []analysis.FlowStep
+	if len(path) > 0 {
+		flow = append(flow, analysis.FlowStep{
+			Pos: m.Fset.Position(path[0].Caller.Pos()),
+			Msg: fmt.Sprintf("root %s", path[0].Caller.Short()),
+		})
+		for _, s := range path {
+			flow = append(flow, analysis.FlowStep{
+				Pos: m.Fset.Position(s.Edge.Site),
+				Msg: fmt.Sprintf("%s %s %s", s.Caller.Short(), s.Edge.Kind, s.Edge.Callee.Short()),
+			})
+		}
+	} else {
+		flow = append(flow, analysis.FlowStep{
+			Pos: m.Fset.Position(n.Pos()),
+			Msg: fmt.Sprintf("root %s", n.Short()),
+		})
+	}
+	return append(flow, analysis.FlowStep{Pos: site, Msg: fmt.Sprintf("%s %s", n.Short(), what)})
+}
+
+// exemption is one parsed //simlint:hotpath-exempt comment.
+type exemption struct {
+	pos    token.Position
+	reason string
+	used   bool
+}
+
+// exemptIndex maps file → line → exemption, plus the full list for
+// staleness validation.
+type exemptIndex struct {
+	byLine map[string]map[int]*exemption
+	all    []*exemption
+}
+
+// collectExemptions parses every hotpath-exempt comment in the module.
+// Directives without a justification are findings (under rule), mirroring
+// //simlint:ignore validation.
+func collectExemptions(m *analysis.Module, rule string) (*exemptIndex, []analysis.Finding) {
+	idx := &exemptIndex{byLine: map[string]map[int]*exemption{}}
+	var bad []analysis.Finding
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, HotpathExemptPrefix) {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					reason := strings.TrimSpace(strings.TrimPrefix(text, HotpathExemptPrefix))
+					if reason == "" {
+						bad = append(bad, analysis.Finding{Pos: pos, Rule: rule,
+							Msg: fmt.Sprintf("hotpath exemption has no justification and is ignored; use //%s <why>", HotpathExemptPrefix)})
+						continue
+					}
+					e := &exemption{pos: pos, reason: reason}
+					lines := idx.byLine[pos.Filename]
+					if lines == nil {
+						lines = map[int]*exemption{}
+						idx.byLine[pos.Filename] = lines
+					}
+					lines[pos.Line] = e
+					idx.all = append(idx.all, e)
+				}
+			}
+		}
+	}
+	return idx, bad
+}
+
+// covers reports whether a violation at pos inside node n is exempted: a
+// directive on the violation line or the line above (site exemption), or
+// on the line of — or directly above — the node's declaration (whole-
+// function exemption).
+func (idx *exemptIndex) covers(m *analysis.Module, n *callgraph.Node, pos token.Position) bool {
+	lines := idx.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	decl := m.Fset.Position(n.Pos())
+	for _, line := range []int{pos.Line, pos.Line - 1, decl.Line, decl.Line - 1} {
+		if e := lines[line]; e != nil {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// stale flags exemptions that no hot-reachable function contains: either
+// the function fell out of the hot set or the directive never attached to
+// one, and in both cases it must be deleted rather than rot.
+func (idx *exemptIndex) stale(m *analysis.Module, g *callgraph.Graph, reach *callgraph.Reach, rule string) []analysis.Finding {
+	var out []analysis.Finding
+	for _, e := range idx.all {
+		if e.used || idx.attached(m, g, reach, e) {
+			continue
+		}
+		out = append(out, analysis.Finding{Pos: e.pos, Rule: rule,
+			Msg: "stale hotpath exemption: no function reachable from the hot roots contains it; delete the directive"})
+	}
+	return out
+}
+
+// attached reports whether an exemption sits within (or directly above)
+// any hot-reachable function.
+func (idx *exemptIndex) attached(m *analysis.Module, g *callgraph.Graph, reach *callgraph.Reach, e *exemption) bool {
+	for _, n := range g.Sorted() {
+		if !reach.Has(n) {
+			continue
+		}
+		start := m.Fset.Position(n.Decl.Pos())
+		end := m.Fset.Position(n.Decl.End())
+		if start.Filename != e.pos.Filename {
+			continue
+		}
+		if e.pos.Line >= start.Line-1 && e.pos.Line <= end.Line {
+			return true
+		}
+	}
+	return false
+}

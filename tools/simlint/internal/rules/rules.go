@@ -33,10 +33,13 @@ func RepoConfig(root string) analysis.Config {
 			// across processes require the same discipline.
 			"internal/surrogate",
 		},
-		KeyFile:    "internal/runner/key.go",
-		KeyRoots:   []string{"internal/runner.Job"},
-		UnitsDir:   "internal/units",
-		Goroutines: []string{"internal/runner", "internal/store", "internal/server", "internal/surrogate"},
+		KeyFile:  "internal/runner/key.go",
+		KeyRoots: []string{"internal/runner.Job"},
+		UnitsDir: "internal/units",
+		// internal/sim joined for PR 10: the epoch fork/join pool's `go`
+		// statements must be WaitGroup-joined and context-scoped like every
+		// other pool in the tree.
+		Goroutines: []string{"internal/runner", "internal/store", "internal/server", "internal/surrogate", "internal/sim"},
 		// The root package must keep at least Simulate/SimulateParallel/
 		// RunCampaign as Context pairs, and the serving layer its
 		// ListenAndServe pair; a refactor that hides them from the analyzer
@@ -59,8 +62,36 @@ func RepoConfig(root string) analysis.Config {
 		},
 		ApproxCaches: []string{"internal/runner.Engine.cache"},
 		// Mutex hygiene in every package that mixes locks with channels, the
-		// journal, or the network.
-		Locks: []string{"internal/runner", "internal/store", "internal/server", "internal/surrogate"},
+		// journal, or the network — and, since PR 10, the epoch simulator
+		// (which must in fact hold no locks at all; hotpath enforces that
+		// on the hot set, lockscope on whatever it would add).
+		Locks: []string{"internal/runner", "internal/store", "internal/server", "internal/surrogate", "internal/sim"},
+		// The hot set of the epoch simulator (PR 9's 0 allocs/op loop): the
+		// per-cycle core stepper, the memory-system resolve path, and the
+		// cache access paths, per-core and shared-LLC.
+		HotRoots: []string{
+			"internal/cpu.Core.Run",
+			"internal/sim.coreCtx.resolve",
+			"internal/cache.Level.Access",
+			"internal/cache.NUCA.Access",
+		},
+		// The epoch fork/join pool: goroutines spawned here must not write
+		// shared simulator state.
+		WorkerRoots: []string{"internal/sim.machine.runCoresParallel"},
+		SharedTypes: []string{"internal/noc.Mesh", "internal/dram.Memory", "internal/cache.NUCA"},
+		// Read-only shared surfaces workers may touch concurrently; the
+		// *Into accumulator methods are sanctioned by convention.
+		SharedSafe: []string{
+			"internal/noc.Mesh.Route",
+			"internal/noc.Mesh.MCTile",
+			"internal/noc.Mesh.Tile",
+			"internal/noc.Mesh.Tiles",
+			"internal/dram.Memory.MCOf",
+			"internal/dram.Memory.Controllers",
+			"internal/dram.Memory.BaseLatency",
+			"internal/cache.NUCA.SliceOf",
+			"internal/cache.NUCA.Probe",
+		},
 	}
 	// Suppressions always validate against the full registry, even when the
 	// driver runs a rule subset.
@@ -98,6 +129,12 @@ func All(cfg analysis.Config) []analysis.Analyzer {
 		},
 		ctxflow{},
 		lockscope{pkgs: locks},
+		hotpath{roots: parseTaintSpecs(cfg.HotRoots)},
+		sharestrict{
+			workerRoots: parseTaintSpecs(cfg.WorkerRoots),
+			shared:      parseTaintSpecs(cfg.SharedTypes),
+			safe:        parseTaintSpecs(cfg.SharedSafe),
+		},
 	}
 }
 

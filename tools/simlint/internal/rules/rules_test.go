@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -30,6 +31,10 @@ func fixtureConfig() analysis.Config {
 		ApproxSinks:   []string{"af.Store.Save@1"},
 		ApproxCaches:  []string{"af.Cache.cache"},
 		Locks:         []string{"lk"},
+		HotRoots:      []string{"hp.Engine.Step"},
+		WorkerRoots:   []string{"ss.Pool.run"},
+		SharedTypes:   []string{"ss.Mesh"},
+		SharedSafe:    []string{"ss.Mesh.Tiles"},
 	}
 }
 
@@ -128,6 +133,28 @@ func TestAnalyzerFindings(t *testing.T) {
 			"lk/lk.go:62", // Blocks: default-less select under the mutex
 			"lk/lk.go:84", // ViaHelper: callee blocking summary
 		},
+		"hotpath": {
+			"hp/hp.go:31",  // locked: sync.Mutex.Lock one call below the root
+			"hp/hp.go:32",  // locked: defer
+			"hp/hp.go:32",  // locked: sync.Mutex.Unlock
+			"hp/hp.go:44",  // Load (reached via CHA): append growth
+			"hp/hp.go:50",  // lookup: make
+			"hp/hp.go:52",  // lookup: range over a map
+			"hp/hp.go:62",  // spill (three frames deep): fmt.Println
+			"hp/hp.go:63",  // spill: boxing into an any parameter
+			"hp/hp.go:64",  // spill: &composite literal
+			"hp/hp.go:65",  // spill: string concatenation
+			"hp/hp.go:66",  // spill: closure creation
+			"hp/hp.go:67",  // spill: dynamic call through a func value
+			"hp/hp.go:94",  // sloppy: exemption without a justification
+			"hp/hp.go:100", // cold: stale exemption on an unreachable function
+		},
+		"sharestrict": {
+			"ss/ss.go:64", // work: mutating Mesh.Latency call from the worker
+			"ss/ss.go:65", // work: direct Mesh.Total write
+			"ss/ss.go:74", // deep: direct write two frames below the spawn
+			"ss/ss.go:86", // handoff: Mesh.Merge taken as a method value
+		},
 	}
 	for rule, sites := range want {
 		if !reflect.DeepEqual(got[rule], sites) {
@@ -192,6 +219,58 @@ func TestRepoClean(t *testing.T) {
 	}
 	if len(findings) != 0 {
 		t.Errorf("repository is not lint-clean:\n%s", analysis.Render(findings))
+	}
+}
+
+// TestWitnessFlows pins the interprocedural witnesses end to end: the
+// seeded hot-path alloc (reached through a CHA-resolved interface call)
+// and the seeded shared-Mesh write from the worker must both carry a call
+// chain in the message, a Finding.Flow whose first step is the root and
+// whose last step is the flagged site, and a SARIF codeFlow rendering it.
+func TestWitnessFlows(t *testing.T) {
+	findings := fixtureLint(t)
+	want := map[string]struct {
+		site  string // file:line of the finding
+		chain string // witness rendered in the message
+		root  string // first flow step's message
+	}{
+		"hotpath":     {"hp/hp.go:44", "Engine.Step → Table.Load", "root Engine.Step"},
+		"sharestrict": {"ss/ss.go:74", "Pool.run$1 → Pool.work → Pool.deep", "root Pool.run$1"},
+	}
+	seen := map[string]bool{}
+	for _, f := range findings {
+		w, ok := want[f.Rule]
+		if !ok || fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line) != w.site {
+			continue
+		}
+		seen[f.Rule] = true
+		if !strings.Contains(f.Msg, w.chain) {
+			t.Errorf("%s at %s: message %q does not carry witness chain %q", f.Rule, w.site, f.Msg, w.chain)
+		}
+		if len(f.Flow) < 2 {
+			t.Fatalf("%s at %s: Flow has %d steps, want >= 2", f.Rule, w.site, len(f.Flow))
+		}
+		if f.Flow[0].Msg != w.root {
+			t.Errorf("%s at %s: first flow step %q, want %q", f.Rule, w.site, f.Flow[0].Msg, w.root)
+		}
+		last := f.Flow[len(f.Flow)-1]
+		if last.Pos.Filename != f.Pos.Filename || last.Pos.Line != f.Pos.Line {
+			t.Errorf("%s at %s: last flow step at %s:%d, want the finding site", f.Rule, w.site, last.Pos.Filename, last.Pos.Line)
+		}
+		cfg := fixtureConfig()
+		log := analysis.BuildSARIF(All(cfg), []analysis.Finding{f}, nil)
+		res := log.Runs[0].Results[0]
+		if len(res.CodeFlows) != 1 || len(res.CodeFlows[0].ThreadFlows) != 1 {
+			t.Fatalf("%s at %s: SARIF result carries no codeFlow", f.Rule, w.site)
+		}
+		if got := len(res.CodeFlows[0].ThreadFlows[0].Locations); got != len(f.Flow) {
+			t.Errorf("%s at %s: codeFlow has %d locations, want %d", f.Rule, w.site, got, len(f.Flow))
+		}
+	}
+	for rule := range want {
+		if !seen[rule] {
+			t.Errorf("no %s finding at %s in the fixture", rule, want[rule].site)
+		}
 	}
 }
 

@@ -1,0 +1,251 @@
+package rules
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"scalesim/tools/simlint/internal/analysis"
+	"scalesim/tools/simlint/internal/callgraph"
+)
+
+// sharestrict proves the epoch worker pool's isolation invariant
+// statically: the goroutines spawned inside the configured worker roots
+// (Config.WorkerRoots) — and everything they reach through the call graph
+// — must not write the shared simulator structures (Config.SharedTypes:
+// the NoC mesh, DRAM, the shared LLC). Workers go through thread-local
+// surfaces instead (coreCtx fields, *Acc accumulators, cache.Overlay);
+// shared state is merged at the fork/join barrier, which runs after the
+// join and is therefore not worker-reachable — so Merge needs no special
+// case: a worker calling it is exactly what the rule exists to catch.
+//
+// Sanctioned calls on a shared type are the read-only methods named in
+// Config.SharedSafe plus, by convention, methods ending in "Into" (read
+// shared state, write a caller-owned accumulator). Everything else — a
+// mutating method call, a method value handed off for later use, a direct
+// field write — is a finding carrying the witness chain from the spawn
+// point, in the message and as Finding.Flow (a SARIF codeFlow).
+//
+// Reachability stops at the sanctioned surface: the internals of a shared
+// type's own methods are that type's business (its *Into methods write
+// the accumulator, not the receiver), so traversal does not descend into
+// shared-type methods.
+type sharestrict struct {
+	workerRoots []taintSpec
+	shared      []taintSpec // <dir>.<Type>: parsed with the type in .name
+	safe        []taintSpec // <dir>.<Type>.<Method>
+}
+
+func (sharestrict) Name() string { return "sharestrict" }
+func (sharestrict) Doc() string {
+	return "epoch workers must not write shared simulator state except through sanctioned thread-local surfaces"
+}
+
+func (s sharestrict) RunModule(m *analysis.Module) []analysis.Finding {
+	if len(s.workerRoots) == 0 || len(s.shared) == 0 {
+		return nil
+	}
+	g := callgraph.Of(m)
+	var findings []analysis.Finding
+
+	var roots []*callgraph.Node
+	for _, spec := range s.workerRoots {
+		n := g.Node(specID(spec))
+		if n == nil {
+			findings = append(findings, analysis.Finding{
+				Pos:  token.Position{Filename: filepath.Join(m.Root, "go.mod"), Line: 1},
+				Rule: s.Name(),
+				Msg:  fmt.Sprintf("worker root %q not found in the call graph; fix the root configuration or restore the function", spec.source),
+			})
+			continue
+		}
+		roots = append(roots, spawnedWorkers(g, n)...)
+	}
+	reach := g.Reach(roots, func(caller *callgraph.Node, e callgraph.Edge) bool {
+		// Stop at the sanctioned surface: do not descend into the shared
+		// types' own methods.
+		return e.Callee.Fn == nil || !s.sharedMethodType(m.Path, e.Callee.Fn)
+	})
+
+	for _, n := range g.Sorted() {
+		if !reach.Has(n) {
+			continue
+		}
+		findings = append(findings, s.checkNode(m, n, reach)...)
+	}
+	return findings
+}
+
+// spawnedWorkers returns the worker-pool entry points of a spawning
+// function: the function literals launched by its `go` statements
+// (directly or through a local binding). A root with no resolvable spawn
+// is itself the entry point, conservatively.
+func spawnedWorkers(g *callgraph.Graph, root *callgraph.Node) []*callgraph.Node {
+	var out []*callgraph.Node
+	resolved := true
+	ast.Inspect(root.Body, func(x ast.Node) bool {
+		gs, ok := x.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(gs.Call.Fun).(type) {
+		case *ast.FuncLit:
+			if n := g.LitNode(fun); n != nil {
+				out = append(out, n)
+				return true
+			}
+		case *ast.Ident:
+			if lit := boundFuncLit(root.Pkg.Info, root.Body, fun); lit != nil {
+				if n := g.LitNode(lit); n != nil {
+					out = append(out, n)
+					return true
+				}
+			}
+		}
+		resolved = false
+		return true
+	})
+	if len(out) == 0 || !resolved {
+		out = append(out, root)
+	}
+	return out
+}
+
+// boundFuncLit resolves a local identifier to the function literal
+// assigned to it, or nil.
+func boundFuncLit(info *types.Info, body *ast.BlockStmt, id *ast.Ident) *ast.FuncLit {
+	obj := info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	var lit *ast.FuncLit
+	ast.Inspect(body, func(x ast.Node) bool {
+		as, ok := x.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			l, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if info.Defs[l] == obj || info.Uses[l] == obj {
+				if fl, ok := ast.Unparen(as.Rhs[i]).(*ast.FuncLit); ok {
+					lit = fl
+				}
+			}
+		}
+		return true
+	})
+	return lit
+}
+
+// sharedTypeName returns the configured name of the shared type t (through
+// pointers), or "".
+func (s sharestrict) sharedTypeName(modPath string, t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	nt, ok := t.(*types.Named)
+	if !ok || nt.Obj().Pkg() == nil {
+		return ""
+	}
+	for _, spec := range s.shared {
+		if nt.Obj().Name() == spec.name && nt.Obj().Pkg().Path() == pkgPathFor(modPath, spec.dir) {
+			return spec.name
+		}
+	}
+	return ""
+}
+
+// sharedMethodType reports whether fn is a method of a shared type.
+func (s sharestrict) sharedMethodType(modPath string, fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return s.sharedTypeName(modPath, sig.Recv().Type()) != ""
+}
+
+// sanctioned reports whether a shared-type method is safe for workers:
+// named in SharedSafe, or following the *Into accumulator convention.
+func (s sharestrict) sanctioned(modPath string, fn *types.Func) bool {
+	if strings.HasSuffix(fn.Name(), "Into") {
+		return true
+	}
+	for _, spec := range s.safe {
+		if matchesSpec(modPath, spec, fn) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkNode flags shared-state violations in one worker-reachable body:
+// non-sanctioned method calls (or method values) on shared types and
+// direct writes to their fields.
+func (s sharestrict) checkNode(m *analysis.Module, n *callgraph.Node, reach *callgraph.Reach) []analysis.Finding {
+	info := n.Pkg.Info
+	chain := callgraph.Chain(n, reach.Path(n))
+	var out []analysis.Finding
+	report := func(p token.Pos, what string) {
+		pos := m.Fset.Position(p)
+		out = append(out, analysis.Finding{
+			Pos:  pos,
+			Rule: s.Name(),
+			Msg:  fmt.Sprintf("epoch worker (%s): %s; workers stay on thread-local state (overlay, accumulators) and shared state merges at the barrier", chain, what),
+			Flow: witnessFlow(m, n, reach, pos, what),
+		})
+	}
+
+	callFun := map[ast.Node]bool{}
+	ast.Inspect(n.Body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false // nested literals are their own nodes
+		case *ast.CallExpr:
+			callFun[ast.Unparen(x.Fun)] = true
+		case *ast.SelectorExpr:
+			fn, ok := info.Uses[x.Sel].(*types.Func)
+			if !ok || !s.sharedMethodType(m.Path, fn) || s.sanctioned(m.Path, fn) {
+				return true
+			}
+			typ := s.sharedTypeName(m.Path, fn.Type().(*types.Signature).Recv().Type())
+			if callFun[x] {
+				report(x.Sel.Pos(), fmt.Sprintf("calls %s.%s, which mutates the shared %s", typ, fn.Name(), typ))
+			} else {
+				report(x.Sel.Pos(), fmt.Sprintf("takes %s.%s as a method value, laundering access to the shared %s", typ, fn.Name(), typ))
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				s.checkWrite(m, info, lhs, report)
+			}
+		case *ast.IncDecStmt:
+			s.checkWrite(m, info, x.X, report)
+		}
+		return true
+	})
+	return out
+}
+
+// checkWrite flags an assignment target that is a field of a shared type.
+func (s sharestrict) checkWrite(m *analysis.Module, info *types.Info, lhs ast.Expr, report func(token.Pos, string)) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if _, ok := info.Uses[sel.Sel].(*types.Var); !ok {
+		return
+	}
+	typ := s.sharedTypeName(m.Path, info.Types[sel.X].Type)
+	if typ == "" {
+		return
+	}
+	report(sel.Sel.Pos(), fmt.Sprintf("writes field %s.%s of the shared %s directly", typ, sel.Sel.Name, typ))
+}

@@ -1,0 +1,103 @@
+// Package hp is the hotpath fixture: Engine.Step is the configured hot
+// root. It reaches the seeded violations below through static calls, an
+// interface dispatch (CHA pulls Table.Load into the hot set), and a
+// method chain two frames deep — each must be flagged with its witness
+// chain, and the exempted sites must stay silent.
+package hp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Mem is the dispatch seam of the fixture.
+type Mem interface {
+	Load(addr uint64) uint64
+}
+
+// Engine.Step is the hot root (fixture Config.HotRoots).
+type Engine struct {
+	mem   Mem
+	mu    sync.Mutex
+	count uint64
+}
+
+func (e *Engine) Step(addr uint64) uint64 {
+	e.locked()
+	return e.mem.Load(addr)
+}
+
+func (e *Engine) locked() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.count++
+}
+
+// Table implements Mem, so the root reaches it only through CHA.
+type Table struct {
+	buf  []uint64
+	hist map[uint64]int
+	name string
+}
+
+func (t *Table) Load(addr uint64) uint64 {
+	t.buf = append(t.buf, addr)
+	t.record(addr)
+	return t.lookup(addr)
+}
+
+func (t *Table) lookup(addr uint64) uint64 {
+	scratch := make([]uint64, 8)
+	scratch[0] = addr
+	for k := range t.hist {
+		addr += uint64(k)
+	}
+	t.grow(int(addr % 64))
+	return spill(t, addr)
+}
+
+// spill sits three calls below the interface dispatch; its violations
+// must carry the full chain Step → Load → lookup → spill.
+func spill(t *Table, addr uint64) uint64 {
+	fmt.Println(addr)
+	consume(addr)
+	other := &Table{}
+	s := t.name + "x"
+	f := func() uint64 { return addr }
+	return uint64(len(s)+len(other.name)) + f()
+}
+
+// consume's any parameter makes the call site above a boxing finding;
+// its own body is clean.
+func consume(v any) {
+	_ = v
+}
+
+// grow is exempt as a whole function: amortized arena growth, silent.
+//
+//simlint:hotpath-exempt arena keeps its high-water capacity, so the steady state allocates nothing
+func (t *Table) grow(n int) {
+	if n > len(t.buf) {
+		t.buf = make([]uint64, n)
+	}
+}
+
+// record carries a site-level exemption on the append, silent.
+func (t *Table) record(addr uint64) {
+	//simlint:hotpath-exempt the log keeps its high-water capacity across epochs
+	t.buf = append(t.buf, addr)
+}
+
+// sloppy's directive has no justification: the directive itself is a
+// finding and exempts nothing.
+func (t *Table) sloppy(addr uint64) uint64 {
+	//simlint:hotpath-exempt
+	return addr * 2
+}
+
+// cold is never reached from the root, so its directive is stale.
+//
+//simlint:hotpath-exempt justified, but nothing hot reaches this function
+func cold(addr uint64) uint64 {
+	return addr
+}

@@ -1,0 +1,94 @@
+// Package ss is the sharestrict fixture: Pool.run is the configured
+// worker root, Mesh the shared type. The goroutine run spawns — and
+// everything it reaches — must not write the Mesh except through the
+// sanctioned surface; the barrier, which runs after the join, may.
+package ss
+
+import "sync"
+
+// Mesh is the configured shared structure.
+type Mesh struct {
+	Total uint64
+	util  float64
+}
+
+// Latency mutates shared statistics: workers must not call it.
+func (m *Mesh) Latency(from, to int) uint64 {
+	m.Total++
+	return uint64(from ^ to)
+}
+
+// LatencyInto is sanctioned by the *Into accumulator convention.
+func (m *Mesh) LatencyInto(a *Acc, from, to int) uint64 {
+	a.hops++
+	return uint64(from ^ to)
+}
+
+// Tiles is sanctioned by Config.SharedSafe.
+func (m *Mesh) Tiles() int { return 16 }
+
+// Merge folds an accumulator into the shared state at the barrier.
+func (m *Mesh) Merge(a *Acc) {
+	m.Total += a.hops
+	m.util += float64(a.hops)
+}
+
+// Acc is a worker-owned accumulator.
+type Acc struct{ hops uint64 }
+
+type Pool struct {
+	mesh *Mesh
+	accs []Acc
+}
+
+// run is the worker root: the goroutine below is the epoch worker pool,
+// and the barrier after Wait is not worker-reachable.
+func (p *Pool) run() {
+	var wg sync.WaitGroup
+	for i := range p.accs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p.work(i)
+		}(i)
+	}
+	wg.Wait()
+	p.barrier()
+}
+
+// work runs on a worker: sanctioned calls stay silent, the mutating call
+// and the direct write are findings.
+func (p *Pool) work(i int) {
+	p.mesh.LatencyInto(&p.accs[i], i, 0)
+	_ = p.mesh.Tiles()
+	p.mesh.Latency(i, 0)
+	p.mesh.Total++
+	p.deep()
+	p.serial(i)
+	p.handoff()
+}
+
+// deep is two frames below the spawn; its write must carry the full
+// witness chain run$1 → work → deep.
+func (p *Pool) deep() {
+	p.mesh.util = 0.5
+}
+
+// serial shows the standard suppression mechanism applies, silent.
+func (p *Pool) serial(i int) {
+	//simlint:ignore sharestrict fixture's serial fallback: this path never runs concurrently
+	p.mesh.Latency(i, i)
+}
+
+// handoff takes a mutating method as a value: flagged even though the
+// call happens elsewhere.
+func (p *Pool) handoff() func(*Acc) {
+	return p.mesh.Merge
+}
+
+// barrier runs after the join: Merge here is legal and unreported.
+func (p *Pool) barrier() {
+	for i := range p.accs {
+		p.mesh.Merge(&p.accs[i])
+	}
+}

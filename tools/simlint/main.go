@@ -31,6 +31,21 @@
 //	            into the module's context-taking calls
 //	lockscope   flow-sensitive: no mutex held across a blocking operation,
 //	            no return path that leaks a lock
+//	hotpath     interprocedural: functions reachable from the hot-loop
+//	            roots (the per-cycle core stepper, the memory-system
+//	            resolve path, the cache access paths) must not allocate,
+//	            lock, defer, range a map, or call fmt; escapes use
+//	            //simlint:hotpath-exempt <justification>
+//	sharestrict interprocedural: the epoch fork/join workers must not
+//	            write shared simulator state (noc.Mesh, dram.Memory, the
+//	            shared-LLC cache.NUCA) except through the sanctioned
+//	            read-only and *Into accumulator surfaces
+//
+// The two interprocedural rules run over a CHA-based call graph
+// (tools/simlint/internal/callgraph): interface calls resolve to every
+// module type implementing the interface, closures and method values are
+// edges, and each finding carries its witness — the shortest call chain
+// from a configured root — in the message and as a SARIF codeFlow.
 //
 // Findings print as "file:line: [rule] message", sorted, and exit status 1.
 // A finding is suppressed by a trailing or preceding comment
